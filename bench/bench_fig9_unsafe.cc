@@ -1,0 +1,75 @@
+// Reproduces Figure 9 (+§5.3.4): the cost of exactly-once semantics.
+// NEXMark Q5 latency vs input rate for Impeller with progress marking vs
+// "unsafe" Impeller (progress marking disabled), plus the other baselines
+// that appear in the figure.
+//
+// Paper shape: Impeller's p50 is 1.2-2.0x unsafe's and its p99 1.0-1.8x;
+// marking adds 15-96 ms at p50 and 13-250 ms at p99. Both saturate at the
+// same input rate (the protocol is not the throughput bottleneck).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace impeller {
+namespace bench {
+namespace {
+
+int Main() {
+  std::vector<double> rates = {3000, 6000, 9000, 12000, 15000};
+  if (FastMode()) {
+    rates = {3000, 9000};
+  }
+  const System systems[] = {System::kImpeller, System::kUnsafe,
+                            System::kKafkaTxn, System::kAlignedCkpt};
+
+  std::printf("Figure 9: NEXMark Q5, safe vs unsafe Impeller\n");
+  std::printf("%-18s %-10s", "system", "rate:");
+  for (double r : rates) {
+    std::printf(" %10.0f", r);
+  }
+  std::printf("\n");
+
+  std::vector<RunResult> impeller_results;
+  for (System system : systems) {
+    std::vector<RunResult> results;
+    std::printf("%-18s p50:      ", SystemName(system));
+    for (double rate : rates) {
+      RunConfig config;
+      config.system = system;
+      config.query = 5;
+      config.events_per_sec = rate;
+      results.push_back(RunPoint(config));
+      std::printf(" %8sms%s", Ms(results.back().p50).c_str(),
+                  results.back().saturated ? "*" : " ");
+      std::fflush(stdout);
+    }
+    std::printf("\n%-18s p99:      ", "");
+    for (const RunResult& r : results) {
+      std::printf(" %8sms%s", Ms(r.p99).c_str(), r.saturated ? "*" : " ");
+    }
+    std::printf("\n");
+    if (system == System::kImpeller) {
+      impeller_results = results;
+    }
+    if (system == System::kUnsafe) {
+      std::printf("%-18s          ", "safe/unsafe");
+      for (size_t i = 0; i < results.size(); ++i) {
+        double ratio =
+            results[i].p50 > 0
+                ? static_cast<double>(impeller_results[i].p50) /
+                      static_cast<double>(results[i].p50)
+                : 0.0;
+        std::printf(" %9.2fx", ratio);
+      }
+      std::printf("  (paper: 1.2-2.0x at p50)\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace impeller
+
+int main() { return impeller::bench::Main(); }

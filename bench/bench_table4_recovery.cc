@@ -1,0 +1,139 @@
+// Reproduces Table 4: failure-recovery performance with and without
+// asynchronous checkpointing. The paper runs NEXMark Q8 (many stateful
+// operators) for 330 s at 80k/96k/112k events/s, fails the query at 300 s,
+// and measures recovery time: baseline (full change-log replay) 3.8-4.8 s
+// vs under 0.3 s with checkpoints — 14-16x faster, reading 27-30x fewer
+// log entries.
+//
+// Scaled here (DESIGN.md §1): ~10x lower rates, a proportionally shorter
+// run, and a snapshot interval scaled so the run covers the same number of
+// snapshot periods. The reproduction target is the ratio, not the absolute
+// seconds.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace impeller {
+namespace bench {
+namespace {
+
+struct RecoveryOutcome {
+  double recovery_sec = 0;        // max across restarted stateful tasks
+  uint64_t entries_read = 0;      // change-log entries read during recovery
+  uint64_t changes_applied = 0;
+  bool used_checkpoint = false;
+};
+
+RecoveryOutcome RunOnce(double rate, bool checkpointing, double run_sec) {
+  RunConfig config;
+  config.system = System::kImpeller;
+  config.query = 8;
+  config.events_per_sec = rate;
+  config.tasks_per_stage = 2;
+  config.snapshot_interval = 2 * kSecond;  // scaled from the paper's 10 s
+
+  EngineOptions options = MakeEngineOptions(config, 21);
+  options.config.enable_checkpointing = checkpointing;
+  Engine engine(std::move(options));
+  auto plan = BuildNexmarkQuery(8, ScaledQueryOptions(config));
+  if (!plan.ok() || !engine.Submit(std::move(*plan)).ok()) {
+    return {};
+  }
+  NexmarkDriverOptions driver_options;
+  driver_options.events_per_sec = rate;
+  driver_options.flush_interval = 100 * kMillisecond;
+  auto driver = NexmarkDriver::Create(&engine, 8, driver_options);
+  if (!driver.ok()) {
+    return {};
+  }
+  (*driver)->Start();
+  engine.clock()->SleepFor(static_cast<DurationNs>(run_sec * kSecond));
+
+  // Fail the query: restart the stateful join tasks and measure recovery.
+  RecoveryOutcome outcome;
+  for (uint32_t i = 0; i < config.tasks_per_stage; ++i) {
+    std::string task = "q8/join/" + std::to_string(i);
+    auto stats = engine.tasks()->RestartTask(task);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "restart %s failed: %s\n", task.c_str(),
+                   stats.status().ToString().c_str());
+      continue;
+    }
+    outcome.recovery_sec = std::max(
+        outcome.recovery_sec, static_cast<double>(stats->duration) / 1e9);
+    outcome.entries_read += stats->changelog_entries_read;
+    outcome.changes_applied += stats->changes_applied;
+    outcome.used_checkpoint =
+        outcome.used_checkpoint || stats->used_checkpoint;
+  }
+  (*driver)->Stop();
+  engine.Stop();
+  return outcome;
+}
+
+int Main() {
+  std::vector<double> rates = {8000, 9600, 11200};
+  double run_sec = FastMode() ? 8.0 : 20.0;
+  std::printf(
+      "Table 4: Q8 recovery with and without checkpointing "
+      "(%.0fs run, snapshot every 2s)\n\n",
+      run_sec);
+  std::printf("%-22s", "input rate (events/s)");
+  for (double r : rates) {
+    std::printf(" %12.0f", r);
+  }
+  std::printf("\n%s\n", std::string(62, '-').c_str());
+
+  std::vector<RecoveryOutcome> baseline, checkpointed;
+  for (double rate : rates) {
+    baseline.push_back(RunOnce(rate, /*checkpointing=*/false, run_sec));
+    checkpointed.push_back(RunOnce(rate, /*checkpointing=*/true, run_sec));
+  }
+  std::printf("%-22s", "recovery: baseline(s)");
+  for (const auto& o : baseline) {
+    std::printf(" %12.3f", o.recovery_sec);
+  }
+  std::printf("\n%-22s", "recovery: +ckpt (s)");
+  for (const auto& o : checkpointed) {
+    std::printf(" %12.3f", o.recovery_sec);
+  }
+  std::printf("\n%-22s", "speedup");
+  for (size_t i = 0; i < rates.size(); ++i) {
+    double s = checkpointed[i].recovery_sec > 0
+                   ? baseline[i].recovery_sec / checkpointed[i].recovery_sec
+                   : 0;
+    std::printf(" %11.1fx", s);
+  }
+  std::printf("\n%-22s", "entries: baseline");
+  for (const auto& o : baseline) {
+    std::printf(" %12lu", static_cast<unsigned long>(o.entries_read));
+  }
+  std::printf("\n%-22s", "entries: +ckpt");
+  for (const auto& o : checkpointed) {
+    std::printf(" %12lu", static_cast<unsigned long>(o.entries_read));
+  }
+  std::printf("\n%-22s", "entry reduction");
+  for (size_t i = 0; i < rates.size(); ++i) {
+    double s = checkpointed[i].entries_read > 0
+                   ? static_cast<double>(baseline[i].entries_read) /
+                         static_cast<double>(checkpointed[i].entries_read)
+                   : 0;
+    std::printf(" %11.1fx", s);
+  }
+  std::printf(
+      "\n\nPaper (300s run, 10s snapshots): baseline 3.86-4.76s vs\n"
+      "0.27-0.30s with checkpoints (14-16x); 27-30x fewer entries read.\n"
+      "The entry ratio scales with run length / snapshot interval. Note on\n"
+      "wall time: the paper's replay streams the change log from storage\n"
+      "nodes (bandwidth-bound), so its recovery seconds track entries read;\n"
+      "this simulator's log is in-process, so replay runs at memory speed\n"
+      "and the entries-read reduction is the faithful point of comparison.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace impeller
+
+int main() { return impeller::bench::Main(); }

@@ -1,0 +1,99 @@
+// Quickstart: the paper's running example (Fig. 1/3) — distributed word
+// count with exactly-once semantics on a shared log.
+//
+//   lines ──> [split: flat-map to words] ──repartition──> [count] ──> sink
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/engine.h"
+
+using namespace impeller;
+
+int main() {
+  // 1. An engine owns the shared log, the checkpoint store, and the task
+  //    manager for one stream query. Default: Impeller's progress-marking
+  //    protocol, 100 ms commit interval.
+  EngineOptions options;
+  options.config.commit_interval = 50 * kMillisecond;
+  Engine engine(std::move(options));
+
+  // 2. Describe the query as a DAG of stages.
+  AggregateFn count;
+  count.init = [] { return std::string("0"); };
+  count.add = [](std::string_view acc, const StreamRecord&) {
+    return std::to_string(std::stoll(std::string(acc)) + 1);
+  };
+
+  QueryBuilder qb("wordcount");
+  qb.Ingress("lines");
+  qb.AddStage("split", /*num_tasks=*/2)
+      .ReadsFrom({"lines"})
+      .FlatMap([](StreamRecord line, std::vector<StreamRecord>* out) {
+        std::istringstream stream(line.value);
+        std::string word;
+        while (stream >> word) {
+          // The emitted key drives the repartition: all instances of a word
+          // reach the same counting task.
+          out->push_back({word, "1", line.event_time});
+        }
+      })
+      .WritesTo("words");
+  qb.AddStage("count", /*num_tasks=*/2)
+      .ReadsFrom({"words"})
+      .Aggregate("counts", count)
+      .Sink("wordcount");
+
+  auto plan = qb.Build();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  if (Status st = engine.Submit(std::move(*plan)); !st.ok()) {
+    std::fprintf(stderr, "submit error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Feed the ingress stream (the gateway + data-ingress path of Fig. 2).
+  auto producer = engine.NewProducer("example-gen", "lines");
+  const char* lines[] = {
+      "hello world",
+      "hello shared log",
+      "the log is the system",
+      "exactly once means exactly once",
+  };
+  for (const char* line : lines) {
+    (*producer)->Send("line", line);
+  }
+  (void)(*producer)->Flush();
+
+  // 4. Wait for the pipeline to drain, then stop gracefully (final commit).
+  Counter* outputs = engine.metrics()->GetCounter("out/wordcount");
+  Clock* clock = engine.clock();
+  TimeNs deadline = clock->Now() + 10 * kSecond;
+  while (outputs->Get() < 15 && clock->Now() < deadline) {
+    clock->SleepFor(5 * kMillisecond);
+  }
+  engine.Stop();
+
+  // 5. Read the committed results from the egress stream.
+  std::map<std::string, long> counts;
+  for (uint32_t sub = 0; sub < 2; ++sub) {
+    auto consumer = engine.NewEgressConsumer("count", sub);
+    auto records = (*consumer)->PollAll();
+    for (const auto& r : *records) {
+      counts[r.data.key] = std::max(counts[r.data.key],
+                                    std::stol(r.data.value));
+    }
+  }
+  std::printf("word counts (exactly-once):\n");
+  for (const auto& [word, n] : counts) {
+    std::printf("  %-10s %ld\n", word.c_str(), n);
+  }
+  std::printf("end-to-end latency: %s\n",
+              engine.metrics()->Histogram("lat/wordcount")->Summary().c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+namespace impeller {
+
+TimeNs MonotonicClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void MonotonicClock::SleepFor(DurationNs d) {
+  if (d <= 0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+MonotonicClock* MonotonicClock::Get() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace impeller

@@ -1,0 +1,56 @@
+// Clock abstraction: benchmarks and the engine run on MonotonicClock (real
+// time); unit tests that need determinism use ManualClock. All times are
+// nanoseconds since an arbitrary epoch.
+#ifndef IMPELLER_SRC_COMMON_CLOCK_H_
+#define IMPELLER_SRC_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace impeller {
+
+using TimeNs = int64_t;
+using DurationNs = int64_t;
+
+constexpr DurationNs kMicrosecond = 1000;
+constexpr DurationNs kMillisecond = 1000 * kMicrosecond;
+constexpr DurationNs kSecond = 1000 * kMillisecond;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeNs Now() const = 0;
+  virtual void SleepFor(DurationNs d) = 0;
+};
+
+// Wall-clock-backed monotonic clock.
+class MonotonicClock final : public Clock {
+ public:
+  TimeNs Now() const override;
+  void SleepFor(DurationNs d) override;
+
+  // Process-wide shared instance.
+  static MonotonicClock* Get();
+};
+
+// Manually advanced clock for deterministic tests. SleepFor advances the
+// clock immediately (single-threaded use).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs Now() const override { return now_.load(std::memory_order_acquire); }
+  void SleepFor(DurationNs d) override { Advance(d); }
+  void Advance(DurationNs d) {
+    now_.fetch_add(d, std::memory_order_acq_rel);
+  }
+  void Set(TimeNs t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<TimeNs> now_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,42 @@
+// Hashing helpers: 64-bit FNV-1a for strings (stable across runs, used to
+// assign records to substreams) and a mixing finalizer for integer keys.
+#ifndef IMPELLER_SRC_COMMON_HASH_H_
+#define IMPELLER_SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace impeller {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr uint64_t Fnv1a(std::string_view data,
+                         uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Finalizer from splitmix64: turns sequential integer keys into
+// well-distributed hashes.
+constexpr uint64_t MixU64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Maps a key hash to one of n partitions.
+constexpr uint32_t PartitionFor(uint64_t key_hash, uint32_t num_partitions) {
+  return static_cast<uint32_t>(MixU64(key_hash) % num_partitions);
+}
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_HASH_H_

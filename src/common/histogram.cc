@@ -1,0 +1,150 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace impeller {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets) {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+int LatencyHistogram::BucketFor(int64_t v) {
+  if (v < 0) {
+    v = 0;
+  }
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);
+  }
+  int msb = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+  int octave = msb - kSubBucketBits + 1;
+  int sub = static_cast<int>(v >> octave) & (kSubBuckets - 1);
+  int bucket = (octave + 1) * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+int64_t LatencyHistogram::BucketMidpoint(int bucket) {
+  if (bucket < kSubBuckets) {
+    return bucket;
+  }
+  // Inverse of BucketFor: bucket (octave, sub) covers values whose top bits
+  // equal sub at shift `octave`, i.e. [sub << octave, (sub + 1) << octave).
+  int octave = bucket / kSubBuckets - 1;
+  int sub = bucket % kSubBuckets;
+  int64_t base = static_cast<int64_t>(sub) << octave;
+  int64_t width = static_cast<int64_t>(1) << octave;
+  return base + width / 2;
+}
+
+void LatencyHistogram::Record(int64_t v) {
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (v > prev_max &&
+         !max_.compare_exchange_weak(prev_max, v, std::memory_order_relaxed)) {
+  }
+  int64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (v < prev_min &&
+         !min_.compare_exchange_weak(prev_min, v, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t LatencyHistogram::Percentile(double p) const {
+  uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * total));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return BucketMidpoint(i);
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::Max() const {
+  return count_.load(std::memory_order_relaxed) == 0
+             ? 0
+             : max_.load(std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::Min() const {
+  return count_.load(std::memory_order_relaxed) == 0
+             ? 0
+             : min_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Mean() const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+uint64_t LatencyHistogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) {
+      buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  int64_t om = other.max_.load(std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (om > prev &&
+         !max_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+  }
+  int64_t omin = other.min_.load(std::memory_order_relaxed);
+  int64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (omin < prev_min && !min_.compare_exchange_weak(
+                                prev_min, omin, std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDurationNs(int64_t ns) {
+  char buf[64];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  }
+  return buf;
+}
+
+std::string LatencyHistogram::Summary() const {
+  return "p50=" + FormatDurationNs(p50()) + " p99=" + FormatDurationNs(p99()) +
+         " n=" + std::to_string(Count());
+}
+
+}  // namespace impeller

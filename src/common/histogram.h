@@ -1,0 +1,61 @@
+// Latency recorder: log-bucketed histogram with ~1% relative precision,
+// cheap concurrent recording, and percentile queries. Used by the shared-log
+// latency benchmarks and the NEXMark event-time latency harness.
+#ifndef IMPELLER_SRC_COMMON_HISTOGRAM_H_
+#define IMPELLER_SRC_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace impeller {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  // Records one sample (nanoseconds). Thread safe, lock free.
+  void Record(int64_t value_ns);
+
+  // Percentile in [0, 100]; returns the representative value of the bucket
+  // containing that rank. Returns 0 when empty.
+  int64_t Percentile(double p) const;
+
+  int64_t p50() const { return Percentile(50.0); }
+  int64_t p99() const { return Percentile(99.0); }
+  int64_t Max() const;
+  int64_t Min() const;
+  double Mean() const;
+  uint64_t Count() const;
+
+  void Reset();
+
+  // Merges counts from another histogram.
+  void MergeFrom(const LatencyHistogram& other);
+
+  // "p50=2.71ms p99=3.60ms n=1234"
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;  // covers > 10^12 ns
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+
+  static int BucketFor(int64_t v);
+  static int64_t BucketMidpoint(int bucket);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+};
+
+// Formats nanoseconds as a short human string ("2.71ms", "540us").
+std::string FormatDurationNs(int64_t ns);
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace impeller {
+
+namespace {
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("IMPELLER_LOG");
+    if (env == nullptr) {
+      return static_cast<int>(LogLevel::kWarn);
+    }
+    if (std::strcmp(env, "debug") == 0) {
+      return static_cast<int>(LogLevel::kDebug);
+    }
+    if (std::strcmp(env, "info") == 0) {
+      return static_cast<int>(LogLevel::kInfo);
+    }
+    if (std::strcmp(env, "error") == 0) {
+      return static_cast<int>(LogLevel::kError);
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  return static_cast<LogLevel>(LevelStorage().load(std::memory_order_relaxed));
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  LevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace log_internal {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  static std::mutex mu;
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace log_internal
+
+}  // namespace impeller

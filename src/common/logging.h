@@ -1,0 +1,64 @@
+// Minimal leveled logger. Thread safe; writes to stderr. The level is read
+// from the IMPELLER_LOG environment variable (debug/info/warn/error, default
+// warn) so tests and benchmarks stay quiet unless asked.
+#ifndef IMPELLER_SRC_COMMON_LOGGING_H_
+#define IMPELLER_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace impeller {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+namespace log_internal {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct NullLine {
+  template <typename T>
+  NullLine& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_internal
+
+#define IMPELLER_LOG(level)                                             \
+  if (static_cast<int>(::impeller::LogLevel::level) <                   \
+      static_cast<int>(::impeller::GlobalLogLevel()))                   \
+    ;                                                                   \
+  else                                                                  \
+    ::impeller::log_internal::LogLine(::impeller::LogLevel::level,      \
+                                      __FILE__, __LINE__)
+
+#define LOG_DEBUG IMPELLER_LOG(kDebug)
+#define LOG_INFO IMPELLER_LOG(kInfo)
+#define LOG_WARN IMPELLER_LOG(kWarn)
+#define LOG_ERROR IMPELLER_LOG(kError)
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_LOGGING_H_

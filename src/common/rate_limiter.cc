@@ -1,0 +1,47 @@
+#include "src/common/rate_limiter.h"
+
+#include <algorithm>
+
+namespace impeller {
+
+RateLimiter::RateLimiter(double events_per_sec, Clock* clock,
+                         int64_t max_burst)
+    : rate_(events_per_sec), clock_(clock), max_burst_(max_burst) {
+  last_refill_ = clock_->Now();
+}
+
+void RateLimiter::Refill(TimeNs now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  double elapsed_sec = static_cast<double>(now - last_refill_) / 1e9;
+  available_ = std::min(available_ + elapsed_sec * rate_,
+                        static_cast<double>(max_burst_));
+  last_refill_ = now;
+}
+
+void RateLimiter::Acquire(int64_t n) {
+  if (rate_ <= 0.0) {
+    return;
+  }
+  while (true) {
+    Refill(clock_->Now());
+    if (available_ >= static_cast<double>(n)) {
+      available_ -= static_cast<double>(n);
+      return;
+    }
+    double deficit = static_cast<double>(n) - available_;
+    DurationNs wait = static_cast<DurationNs>(deficit / rate_ * 1e9) + 1;
+    clock_->SleepFor(std::min<DurationNs>(wait, 50 * kMillisecond));
+  }
+}
+
+int64_t RateLimiter::AvailableNow() {
+  if (rate_ <= 0.0) {
+    return max_burst_;
+  }
+  Refill(clock_->Now());
+  return static_cast<int64_t>(available_);
+}
+
+}  // namespace impeller

@@ -1,0 +1,39 @@
+// Pacing helper for workload generators: emits permits at a fixed rate with
+// catch-up (bursts after a stall are bounded by max_burst).
+#ifndef IMPELLER_SRC_COMMON_RATE_LIMITER_H_
+#define IMPELLER_SRC_COMMON_RATE_LIMITER_H_
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+
+namespace impeller {
+
+class RateLimiter {
+ public:
+  // events_per_sec <= 0 means unlimited.
+  RateLimiter(double events_per_sec, Clock* clock, int64_t max_burst = 4096);
+
+  // Blocks (sleeps on the clock) until n permits are available, then
+  // consumes them.
+  void Acquire(int64_t n = 1);
+
+  // Non-blocking: how many permits are currently available (bounded by
+  // max_burst).
+  int64_t AvailableNow();
+
+  double rate() const { return rate_; }
+
+ private:
+  void Refill(TimeNs now);
+
+  double rate_;
+  Clock* clock_;
+  int64_t max_burst_;
+  double available_ = 0.0;
+  TimeNs last_refill_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_RATE_LIMITER_H_

@@ -1,0 +1,127 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+
+namespace impeller {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256++
+  uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection for unbiased results.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLogNormal(double median, double sigma) {
+  return median * std::exp(sigma * NextGaussian());
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  assert(n > 0);
+  assert(exponent >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -exponent));
+}
+
+double ZipfGenerator::H(double x) const {
+  if (exponent_ == 1.0) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - exponent_) - 1.0) / (1.0 - exponent_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (exponent_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - exponent_), 1.0 / (1.0 - exponent_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (exponent_ == 0.0) {
+    return rng.NextBounded(n_);
+  }
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    }
+    if (k > n_) {
+      k = n_;
+    }
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -exponent_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace impeller

@@ -1,0 +1,66 @@
+// Deterministic random number generation: splitmix64-seeded xoshiro256++,
+// plus the samplers the workloads need (uniform, lognormal for latency
+// models, zipf for NEXMark key skew).
+#ifndef IMPELLER_SRC_COMMON_RNG_H_
+#define IMPELLER_SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace impeller {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Lognormal with given median and sigma (of the underlying normal).
+  double NextLogNormal(double median, double sigma);
+
+  // True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed generator over [0, n). Uses the rejection-inversion
+// method (Hörmann & Derflinger) so setup is O(1) and sampling O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double exponent);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double exponent_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_RNG_H_

@@ -1,0 +1,66 @@
+// Compact binary serialization used for log payloads, progress markers,
+// change-log entries, and checkpoints. Integers use LEB128 varints; strings
+// and blobs are length-prefixed. Readers validate bounds and report
+// kDataLoss instead of crashing on corrupt input.
+#ifndef IMPELLER_SRC_COMMON_SERDE_H_
+#define IMPELLER_SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace impeller {
+
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  explicit BinaryWriter(size_t reserve) { buffer_.reserve(reserve); }
+
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteVarU64(uint64_t v);
+  void WriteVarI64(int64_t v);  // zigzag encoded
+  void WriteU32(uint32_t v) { WriteVarU64(v); }
+  void WriteU64(uint64_t v) { WriteVarU64(v); }
+  void WriteI64(int64_t v) { WriteVarI64(v); }
+  void WriteDouble(double v);
+  void WriteString(std::string_view s);
+  void WriteBytes(const void* data, size_t size);
+
+  const std::string& data() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<bool> ReadBool();
+  Result<uint64_t> ReadVarU64();
+  Result<int64_t> ReadVarI64();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64() { return ReadVarU64(); }
+  Result<int64_t> ReadI64() { return ReadVarI64(); }
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_SERDE_H_

@@ -1,0 +1,154 @@
+// Status and Result<T>: exception-free error propagation used across all
+// Impeller modules. Modeled after absl::Status / StatusOr with a much smaller
+// surface; errors carry a code plus a human-readable message.
+#ifndef IMPELLER_SRC_COMMON_STATUS_H_
+#define IMPELLER_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace impeller {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // key / LSN / tag does not exist
+  kAlreadyExists,   // duplicate append, key collision
+  kFenced,          // conditional append rejected (stale instance number)
+  kOutOfRange,      // LSN beyond tail or before trim point
+  kTrimmed,         // record removed by garbage collection
+  kUnavailable,     // component stopped or simulated failure in effect
+  kInvalidArgument,
+  kDataLoss,        // corrupt payload / failed deserialization
+  kDeadlineExceeded,
+  kAborted,         // transaction aborted (Kafka txn baseline)
+  kInternal,
+};
+
+// Human-readable name for a status code ("kFenced" -> "FENCED").
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "FENCED: instance 3 superseded by 4" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FencedError(std::string msg) {
+  return Status(StatusCode::kFenced, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status TrimmedError(std::string msg) {
+  return Status(StatusCode::kTrimmed, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status AbortedError(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT
+  Result(Status status) : status_(std::move(status)) {          // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagate a non-OK status from an expression that yields Status.
+#define IMPELLER_RETURN_IF_ERROR(expr)       \
+  do {                                       \
+    ::impeller::Status _st = (expr);         \
+    if (!_st.ok()) {                         \
+      return _st;                            \
+    }                                        \
+  } while (0)
+
+// Assign the value of a Result<T> expression or propagate its status.
+#define IMPELLER_ASSIGN_OR_RETURN(lhs, expr) \
+  auto _res_##__LINE__ = (expr);             \
+  if (!_res_##__LINE__.ok()) {               \
+    return _res_##__LINE__.status();         \
+  }                                          \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_STATUS_H_

@@ -1,0 +1,72 @@
+// Small threading utilities: a joining thread wrapper and a wait group.
+#ifndef IMPELLER_SRC_COMMON_THREADING_H_
+#define IMPELLER_SRC_COMMON_THREADING_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace impeller {
+
+// std::jthread is unavailable in some libstdc++ configurations; this wrapper
+// guarantees join-on-destruction without cooperative stop tokens.
+class JoiningThread {
+ public:
+  JoiningThread() = default;
+  template <typename F, typename... Args>
+  explicit JoiningThread(F&& f, Args&&... args)
+      : thread_(std::forward<F>(f), std::forward<Args>(args)...) {}
+
+  JoiningThread(JoiningThread&&) = default;
+  JoiningThread& operator=(JoiningThread&& other) {
+    Join();
+    thread_ = std::move(other.thread_);
+    return *this;
+  }
+  JoiningThread(const JoiningThread&) = delete;
+  JoiningThread& operator=(const JoiningThread&) = delete;
+
+  ~JoiningThread() { Join(); }
+
+  void Join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  bool joinable() const { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
+};
+
+class WaitGroup {
+ public:
+  void Add(int n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ <= 0) {
+      cv_.notify_all();
+    }
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_THREADING_H_

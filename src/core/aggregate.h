@@ -1,0 +1,29 @@
+// Aggregate function specification shared by the group-by, table, and
+// window aggregate operators. Accumulators are opaque strings; applications
+// encode them with BinaryWriter (see src/nexmark/queries.cc for examples).
+#ifndef IMPELLER_SRC_CORE_AGGREGATE_H_
+#define IMPELLER_SRC_CORE_AGGREGATE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/core/operator.h"
+
+namespace impeller {
+
+struct AggregateFn {
+  // Fresh accumulator.
+  std::function<std::string()> init;
+  // Folds one record into the accumulator.
+  std::function<std::string(std::string_view acc, const StreamRecord& record)>
+      add;
+  // Retracts a previous row value (table aggregates only; updates to a table
+  // row must remove the old row's contribution, §4 "table aggregate").
+  std::function<std::string(std::string_view acc, std::string_view old_value)>
+      remove;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_AGGREGATE_H_

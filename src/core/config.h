@@ -1,0 +1,81 @@
+// Engine-wide configuration. Defaults follow the paper's experimental setup
+// (§5.1): commit interval 100 ms, snapshot interval 10 s, 128 KiB output
+// buffers.
+#ifndef IMPELLER_SRC_CORE_CONFIG_H_
+#define IMPELLER_SRC_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/clock.h"
+
+namespace impeller {
+
+// Which exactly-once mechanism the engine runs (§5.1 baselines).
+enum class ProtocolKind {
+  kProgressMarking,    // Impeller (this paper)
+  kKafkaTxn,           // Kafka Streams' two-phase transaction protocol
+  kAlignedCheckpoint,  // Flink-style aligned checkpointing
+  kUnsafe,             // no progress tracking (§5.3.4)
+};
+
+const char* ProtocolKindName(ProtocolKind kind);
+
+struct EngineConfig {
+  ProtocolKind protocol = ProtocolKind::kProgressMarking;
+
+  // Interval between progress markers / transaction commits / checkpoint
+  // barrier rounds.
+  DurationNs commit_interval = 100 * kMillisecond;
+
+  // Interval between asynchronous state checkpoints (progress-marking mode).
+  DurationNs snapshot_interval = 10 * kSecond;
+  bool enable_checkpointing = true;
+
+  // Output buffer: appends are batched until this many bytes or the commit
+  // point, whichever comes first.
+  size_t output_buffer_bytes = 128 * 1024;
+  DurationNs output_flush_interval = 10 * kMillisecond;
+
+  // Kafka-txn baseline: maximum bytes of output buffered while a commit is
+  // in flight before processing stalls (§3.6 "if its buffer fills up").
+  size_t txn_inflight_buffer_bytes = 128 * 1024;
+
+  // Input polling.
+  DurationNs poll_interval = 1 * kMillisecond;
+  size_t max_records_per_poll = 512;
+
+  // Operator timer (window trigger) cadence.
+  DurationNs timer_interval = 20 * kMillisecond;
+
+  // Task-manager heartbeat monitoring.
+  DurationNs heartbeat_interval = 50 * kMillisecond;
+  DurationNs failure_timeout = 2 * kSecond;
+  bool auto_restart = true;
+
+  // Garbage collection.
+  bool enable_gc = false;
+  DurationNs gc_interval = 5 * kSecond;
+
+  // Whether sinks append results to an egress stream (paper measures
+  // latency at emission from the output operator, before the push).
+  bool write_egress = true;
+};
+
+inline const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kProgressMarking:
+      return "impeller";
+    case ProtocolKind::kKafkaTxn:
+      return "kafka-txn";
+    case ProtocolKind::kAlignedCheckpoint:
+      return "aligned-ckpt";
+    case ProtocolKind::kUnsafe:
+      return "unsafe";
+  }
+  return "?";
+}
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_CONFIG_H_

@@ -1,0 +1,153 @@
+#include "src/core/engine.h"
+
+#include "src/common/hash.h"
+#include "src/core/record.h"
+#include "src/core/stream.h"
+
+namespace impeller {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  clock_ = options_.clock != nullptr ? options_.clock : MonotonicClock::Get();
+  SharedLogOptions log_opts;
+  log_opts.name = options_.name + ".log";
+  log_opts.latency = options_.log_latency;
+  log_opts.clock = clock_;
+  log_ = std::make_unique<SharedLog>(std::move(log_opts));
+  KvStoreOptions kv_opts;
+  kv_opts.wal_path = options_.kv_wal_path;
+  kv_opts.latency = options_.kv_latency;
+  kv_opts.clock = clock_;
+  kv_ = std::make_unique<KvStore>(std::move(kv_opts));
+  manager_ = std::make_unique<TaskManager>(log_.get(), kv_.get(),
+                                           options_.config, &metrics_, clock_);
+}
+
+Engine::~Engine() { Stop(); }
+
+Status Engine::Submit(QueryPlan plan) {
+  IMPELLER_RETURN_IF_ERROR(manager_->Submit(std::move(plan)));
+  submitted_ = true;
+  return OkStatus();
+}
+
+void Engine::Stop() {
+  if (submitted_) {
+    manager_->Stop();
+  }
+}
+
+Result<std::unique_ptr<IngressProducer>> Engine::NewProducer(
+    std::string producer_id, std::string stream) {
+  if (!submitted_) {
+    return InvalidArgumentError("submit a plan before creating producers");
+  }
+  const StreamSpec* spec = plan().FindStream(stream);
+  if (spec == nullptr || !spec->external) {
+    return InvalidArgumentError(stream + " is not an ingress stream");
+  }
+  return std::make_unique<IngressProducer>(log_.get(), std::move(producer_id),
+                                           std::move(stream),
+                                           spec->num_substreams, clock_);
+}
+
+Result<std::unique_ptr<EgressConsumer>> Engine::NewEgressConsumer(
+    std::string_view stage, uint32_t substream) {
+  if (!submitted_) {
+    return InvalidArgumentError("submit a plan before creating consumers");
+  }
+  std::string stream = EgressStreamName(plan().name, stage);
+  const StreamSpec* spec = plan().FindStream(stream);
+  if (spec == nullptr) {
+    return InvalidArgumentError("stage " + std::string(stage) +
+                                " has no egress stream");
+  }
+  if (substream >= spec->num_substreams) {
+    return InvalidArgumentError("egress substream out of range");
+  }
+  bool read_committed =
+      options_.config.protocol == ProtocolKind::kProgressMarking ||
+      options_.config.protocol == ProtocolKind::kKafkaTxn;
+  return std::make_unique<EgressConsumer>(log_.get(), stream, substream,
+                                          read_committed);
+}
+
+// --- IngressProducer ---
+
+IngressProducer::IngressProducer(SharedLog* log, std::string producer_id,
+                                 std::string stream, uint32_t num_substreams,
+                                 Clock* clock)
+    : log_(log),
+      producer_id_(std::move(producer_id)),
+      stream_(std::move(stream)),
+      num_substreams_(num_substreams),
+      clock_(clock),
+      pending_(num_substreams) {}
+
+void IngressProducer::Send(std::string key, std::string value,
+                           TimeNs event_time) {
+  SendDuplicate(std::move(key), std::move(value), event_time, ++seq_);
+}
+
+void IngressProducer::SendDuplicate(std::string key, std::string value,
+                                    TimeNs event_time,
+                                    uint64_t original_seq) {
+  uint32_t sub = HashPartition(key, num_substreams_);
+  DataBody body;
+  body.event_time = event_time != 0 ? event_time : clock_->Now();
+  body.key = std::move(key);
+  body.value = std::move(value);
+  RecordHeader header;
+  header.type = RecordType::kData;
+  header.producer = producer_id_;
+  header.instance = kIngressInstance;
+  header.seq = original_seq;
+  AppendRequest req;
+  req.tags.push_back(DataTag(stream_, sub));
+  req.payload = EncodeEnvelope(header, EncodeDataBody(body));
+  pending_[sub].push_back(std::move(req));
+  ++pending_count_;
+}
+
+Result<size_t> IngressProducer::Flush() {
+  size_t flushed = 0;
+  for (auto& batch : pending_) {
+    if (batch.empty()) {
+      continue;
+    }
+    size_t n = batch.size();
+    auto lsns = log_->AppendBatch(std::move(batch));
+    batch.clear();
+    if (!lsns.ok()) {
+      return lsns.status();
+    }
+    flushed += n;
+  }
+  pending_count_ = 0;
+  return flushed;
+}
+
+size_t IngressProducer::buffered() const { return pending_count_; }
+
+// --- EgressConsumer ---
+
+EgressConsumer::EgressConsumer(SharedLog* log, std::string stream,
+                               uint32_t substream, bool read_committed)
+    : tracker_(read_committed),
+      reader_(log, DataTag(stream, substream), 0, &tracker_,
+              /*start_lsn=*/0) {}
+
+Result<std::vector<ReadyRecord>> EgressConsumer::PollAll() {
+  std::vector<ReadyRecord> out;
+  SubstreamReader::Hooks hooks;
+  while (true) {
+    auto n = reader_.Poll(1024, &out, hooks);
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (*n == 0) {
+      return out;
+    }
+  }
+}
+
+}  // namespace impeller

@@ -1,0 +1,84 @@
+#include "src/core/gc.h"
+
+#include "src/common/logging.h"
+
+namespace impeller {
+
+void GcRegistry::PublishFloor(const std::string& source, Lsn floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lsn& slot = floors_[source];
+  if (floor > slot) {
+    slot = floor;
+  }
+}
+
+void GcRegistry::Remove(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  floors_.erase(source);
+}
+
+Lsn GcRegistry::MinFloor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (floors_.empty()) {
+    return kInvalidLsn;
+  }
+  Lsn min = kInvalidLsn;
+  for (const auto& [source, floor] : floors_) {
+    min = std::min(min, floor);
+  }
+  return min;
+}
+
+size_t GcRegistry::sources() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floors_.size();
+}
+
+GcWorker::GcWorker(SharedLog* log, GcRegistry* registry, Clock* clock,
+                   DurationNs interval)
+    : log_(log), registry_(registry), clock_(clock), interval_(interval) {}
+
+GcWorker::~GcWorker() { Stop(); }
+
+void GcWorker::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void GcWorker::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  thread_.Join();
+}
+
+void GcWorker::Loop() {
+  TimeNs next = clock_->Now() + interval_;
+  while (running_.load()) {
+    TimeNs now = clock_->Now();
+    if (now < next) {
+      clock_->SleepFor(std::min<DurationNs>(next - now, 50 * kMillisecond));
+      continue;
+    }
+    RunOnce();
+    next = clock_->Now() + interval_;
+  }
+}
+
+void GcWorker::RunOnce() {
+  Lsn floor = registry_->MinFloor();
+  if (floor == kInvalidLsn || floor <= last_trim_) {
+    return;
+  }
+  Status st = log_->Trim(floor);
+  if (!st.ok()) {
+    LOG_WARN << "GC trim to " << floor << " failed: " << st.ToString();
+    return;
+  }
+  last_trim_ = floor;
+  trims_.fetch_add(1);
+}
+
+}  // namespace impeller

@@ -1,0 +1,68 @@
+// Garbage collection (paper §3.5 "Garbage collection"): consumers publish
+// the LSN floor below which they no longer need log records (per-substream
+// GC tasks in the paper); a master GC worker takes the global minimum and
+// issues the shared log's trim API.
+#ifndef IMPELLER_SRC_CORE_GC_H_
+#define IMPELLER_SRC_CORE_GC_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/threading.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace impeller {
+
+class GcRegistry {
+ public:
+  // Publishes "everything below `floor` is no longer needed by `source`".
+  // Floors are monotone per source; a lower value is ignored.
+  void PublishFloor(const std::string& source, Lsn floor);
+  void Remove(const std::string& source);
+
+  // Global minimum across all published floors; kInvalidLsn when no source
+  // has published (nothing may be trimmed).
+  Lsn MinFloor() const;
+
+  size_t sources() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Lsn> floors_;
+};
+
+// The master GC task: periodically trims the shared log to the registry's
+// global minimum.
+class GcWorker {
+ public:
+  GcWorker(SharedLog* log, GcRegistry* registry, Clock* clock,
+           DurationNs interval);
+  ~GcWorker();
+
+  void Start();
+  void Stop();
+
+  // One collection pass (exposed for tests).
+  void RunOnce();
+
+  uint64_t trims_issued() const { return trims_.load(); }
+
+ private:
+  void Loop();
+
+  SharedLog* log_;
+  GcRegistry* registry_;
+  Clock* clock_;
+  DurationNs interval_;
+  Lsn last_trim_ = 0;
+  std::atomic<uint64_t> trims_{0};
+  std::atomic<bool> running_{false};
+  JoiningThread thread_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_GC_H_

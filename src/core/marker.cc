@@ -1,0 +1,151 @@
+#include "src/core/marker.h"
+
+#include "src/common/serde.h"
+
+namespace impeller {
+
+namespace {
+
+void WriteInputEnds(BinaryWriter& w,
+                    const std::vector<std::pair<std::string, Lsn>>& ends) {
+  w.WriteVarU64(ends.size());
+  for (const auto& [tag, lsn] : ends) {
+    w.WriteString(tag);
+    w.WriteVarU64(lsn);
+  }
+}
+
+Status ReadInputEnds(BinaryReader& r,
+                     std::vector<std::pair<std::string, Lsn>>* ends) {
+  auto n = r.ReadVarU64();
+  if (!n.ok()) {
+    return n.status();
+  }
+  // Each entry needs at least two bytes; a larger count is corruption, not
+  // something to reserve memory for.
+  if (*n > r.remaining() / 2 + 1) {
+    return DataLossError("input-ends count exceeds buffer");
+  }
+  ends->reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto tag = r.ReadString();
+    if (!tag.ok()) {
+      return tag.status();
+    }
+    auto lsn = r.ReadVarU64();
+    if (!lsn.ok()) {
+      return lsn.status();
+    }
+    ends->emplace_back(std::move(*tag), *lsn);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string EncodeProgressMarker(const ProgressMarker& marker) {
+  BinaryWriter w(64);
+  w.WriteVarU64(marker.marker_seq);
+  WriteInputEnds(w, marker.input_ends);
+  w.WriteVarU64(marker.outputs_from);
+  w.WriteVarU64(marker.changelog_from);
+  w.WriteBool(marker.has_checkpoint);
+  if (marker.has_checkpoint) {
+    w.WriteVarU64(marker.checkpoint_seq);
+  }
+  return w.Take();
+}
+
+Result<ProgressMarker> DecodeProgressMarker(std::string_view raw) {
+  BinaryReader r(raw);
+  ProgressMarker m;
+  auto seq = r.ReadVarU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  m.marker_seq = *seq;
+  Status st = ReadInputEnds(r, &m.input_ends);
+  if (!st.ok()) {
+    return st;
+  }
+  auto outputs_from = r.ReadVarU64();
+  if (!outputs_from.ok()) {
+    return outputs_from.status();
+  }
+  m.outputs_from = *outputs_from;
+  auto changelog_from = r.ReadVarU64();
+  if (!changelog_from.ok()) {
+    return changelog_from.status();
+  }
+  m.changelog_from = *changelog_from;
+  auto has_ckpt = r.ReadBool();
+  if (!has_ckpt.ok()) {
+    return has_ckpt.status();
+  }
+  m.has_checkpoint = *has_ckpt;
+  if (m.has_checkpoint) {
+    auto ckpt = r.ReadVarU64();
+    if (!ckpt.ok()) {
+      return ckpt.status();
+    }
+    m.checkpoint_seq = *ckpt;
+  }
+  return m;
+}
+
+std::string EncodeTxnControlBody(const TxnControlBody& body) {
+  BinaryWriter w(32);
+  w.WriteU8(static_cast<uint8_t>(body.kind));
+  w.WriteVarU64(body.txn_id);
+  WriteInputEnds(w, body.input_ends);
+  w.WriteVarU64(body.changelog_from);
+  return w.Take();
+}
+
+Result<TxnControlBody> DecodeTxnControlBody(std::string_view raw) {
+  BinaryReader r(raw);
+  TxnControlBody body;
+  auto kind = r.ReadU8();
+  if (!kind.ok()) {
+    return kind.status();
+  }
+  if (*kind < static_cast<uint8_t>(TxnControlKind::kRegistration) ||
+      *kind > static_cast<uint8_t>(TxnControlKind::kAbort)) {
+    return DataLossError("bad txn control kind");
+  }
+  body.kind = static_cast<TxnControlKind>(*kind);
+  auto txn_id = r.ReadVarU64();
+  if (!txn_id.ok()) {
+    return txn_id.status();
+  }
+  body.txn_id = *txn_id;
+  Status st = ReadInputEnds(r, &body.input_ends);
+  if (!st.ok()) {
+    return st;
+  }
+  auto changelog_from = r.ReadVarU64();
+  if (!changelog_from.ok()) {
+    return changelog_from.status();
+  }
+  body.changelog_from = *changelog_from;
+  return body;
+}
+
+std::string EncodeBarrierBody(const BarrierBody& body) {
+  BinaryWriter w(8);
+  w.WriteVarU64(body.checkpoint_id);
+  return w.Take();
+}
+
+Result<BarrierBody> DecodeBarrierBody(std::string_view raw) {
+  BinaryReader r(raw);
+  auto id = r.ReadVarU64();
+  if (!id.ok()) {
+    return id.status();
+  }
+  BarrierBody body;
+  body.checkpoint_id = *id;
+  return body;
+}
+
+}  // namespace impeller

@@ -1,0 +1,88 @@
+// Progress markers (paper §3.3) and the control-record bodies used by the
+// baseline protocols.
+//
+// A progress marker is one log record, appended with one tag per downstream
+// substream plus the producing task's task-log tag (t/<task>) and — for
+// stateful tasks — its change-log tag (c/<task>). Because a multi-tag append
+// is atomic, the marker forms a consistent cut across all of those
+// substreams at a single LSN.
+//
+// Markers use the compact encoding of §3.5: only the *end* LSN of each input
+// range is stored (that is all recovery needs), and the marker's own LSN
+// serves as the exclusive upper bound of the output and change-log ranges,
+// so only the range starts are stored.
+#ifndef IMPELLER_SRC_CORE_MARKER_H_
+#define IMPELLER_SRC_CORE_MARKER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sharedlog/log_record.h"
+
+namespace impeller {
+
+struct ProgressMarker {
+  // Monotonically increasing per task (across instances).
+  uint64_t marker_seq = 0;
+
+  // Consistent cut: for each input substream tag, the LSN of the last input
+  // record processed (kInvalidLsn when nothing consumed yet).
+  std::vector<std::pair<std::string, Lsn>> input_ends;
+
+  // First LSN that may contain this epoch's output records; the exclusive
+  // end is the marker's own LSN. Together with the producer/instance checks
+  // this commits exactly this epoch's outputs.
+  Lsn outputs_from = 0;
+
+  // First LSN that may contain this epoch's change-log records; kInvalidLsn
+  // when the epoch produced no state changes. Exclusive end is the marker's
+  // LSN.
+  Lsn changelog_from = kInvalidLsn;
+
+  // Auxiliary checkpoint hint (§4): the most recent state checkpoint known
+  // to cover this task, if any (its marker_seq).
+  bool has_checkpoint = false;
+  uint64_t checkpoint_seq = 0;
+};
+
+std::string EncodeProgressMarker(const ProgressMarker& marker);
+Result<ProgressMarker> DecodeProgressMarker(std::string_view raw);
+
+// --- Kafka Streams transaction baseline (§3.6) ---
+// Control records appended by the transaction coordinator in phase two.
+// A commit record on a substream commits the producing task's records on
+// that substream with LSNs below the control record's own LSN.
+enum class TxnControlKind : uint8_t {
+  kRegistration = 1,  // appended to the coordinator's transaction stream
+  kPreCommit = 2,     // appended to the coordinator's transaction stream
+  kCommit = 3,        // appended to every registered substream
+  kTxnCommitted = 4,  // appended to the transaction stream; txn is durable
+  kAbort = 5,
+};
+
+struct TxnControlBody {
+  TxnControlKind kind = TxnControlKind::kCommit;
+  uint64_t txn_id = 0;
+  // For kCommit on a task-log substream: the input ends of the committed
+  // epoch (mirrors ProgressMarker::input_ends; used for recovery).
+  std::vector<std::pair<std::string, Lsn>> input_ends;
+  Lsn changelog_from = kInvalidLsn;
+};
+
+std::string EncodeTxnControlBody(const TxnControlBody& body);
+Result<TxnControlBody> DecodeTxnControlBody(std::string_view raw);
+
+// --- Aligned checkpoint baseline (Flink-style, §5.1) ---
+struct BarrierBody {
+  uint64_t checkpoint_id = 0;
+};
+
+std::string EncodeBarrierBody(const BarrierBody& body);
+Result<BarrierBody> DecodeBarrierBody(std::string_view raw);
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_MARKER_H_

@@ -1,0 +1,52 @@
+#include "src/core/operators.h"
+
+namespace impeller {
+
+void FilterOperator::Process(uint32_t, StreamRecord record, Collector* out) {
+  if (pred_(record)) {
+    out->Emit(std::move(record));
+  }
+}
+
+void MapOperator::Process(uint32_t, StreamRecord record, Collector* out) {
+  out->Emit(fn_(std::move(record)));
+}
+
+void FlatMapOperator::Process(uint32_t, StreamRecord record, Collector* out) {
+  std::vector<StreamRecord> results;
+  fn_(std::move(record), &results);
+  for (auto& r : results) {
+    out->Emit(std::move(r));
+  }
+}
+
+void BranchOperator::Process(uint32_t, StreamRecord record, Collector* out) {
+  int output = selector_(record);
+  if (output >= 0) {
+    out->EmitTo(static_cast<uint32_t>(output), std::move(record));
+  }
+}
+
+void KeyByOperator::Process(uint32_t, StreamRecord record, Collector* out) {
+  record.key = fn_(record);
+  out->Emit(std::move(record));
+}
+
+void SinkOperator::Open(OperatorContext* ctx) {
+  ctx_ = ctx;
+  latency_ = ctx->metrics()->Histogram("lat/" + name_);
+  count_ = ctx->metrics()->GetCounter("out/" + name_);
+}
+
+void SinkOperator::Process(uint32_t, StreamRecord record, Collector* out) {
+  // Event-time latency, measured before the record is pushed to the output
+  // stream (paper §5.3.1).
+  latency_->Record(ctx_->clock()->Now() - record.event_time);
+  count_->Add();
+  if (callback_) {
+    callback_(record);
+  }
+  out->Emit(std::move(record));
+}
+
+}  // namespace impeller

@@ -1,0 +1,47 @@
+#include "src/core/output_buffer.h"
+
+namespace impeller {
+
+OutputBuffer::OutputBuffer(SharedLog* log, size_t capacity_bytes)
+    : log_(log), capacity_bytes_(capacity_bytes) {}
+
+void OutputBuffer::Add(Kind kind, AppendRequest request) {
+  pending_bytes_ += request.payload.size();
+  pending_.emplace_back(kind, std::move(request));
+}
+
+Result<OutputBuffer::FlushResult> OutputBuffer::Flush() {
+  FlushResult result;
+  if (pending_.empty()) {
+    return result;
+  }
+  std::vector<AppendRequest> batch;
+  batch.reserve(pending_.size());
+  for (auto& [kind, req] : pending_) {
+    batch.push_back(std::move(req));
+  }
+  auto lsns = log_->AppendBatch(std::move(batch));
+  if (!lsns.ok()) {
+    // A fenced flush means this task instance is a zombie: the buffered
+    // records are dead weight, drop them and surface the error.
+    pending_.clear();
+    pending_bytes_ = 0;
+    return lsns.status();
+  }
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    Lsn lsn = (*lsns)[i];
+    if (pending_[i].first == Kind::kOutput) {
+      if (result.first_output == kInvalidLsn) {
+        result.first_output = lsn;
+      }
+    } else if (result.first_changelog == kInvalidLsn) {
+      result.first_changelog = lsn;
+    }
+  }
+  result.records = pending_.size();
+  pending_.clear();
+  pending_bytes_ = 0;
+  return result;
+}
+
+}  // namespace impeller

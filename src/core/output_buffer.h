@@ -1,0 +1,50 @@
+// Output-side batching: pending log appends (output data records and
+// change-log records) accumulate in memory and flush as one atomic batch
+// append — the 128 KiB output buffer of paper §5.3. The buffer reports the
+// first output / change-log LSN of each flush so the task can build the
+// epoch ranges recorded in its progress markers.
+#ifndef IMPELLER_SRC_CORE_OUTPUT_BUFFER_H_
+#define IMPELLER_SRC_CORE_OUTPUT_BUFFER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace impeller {
+
+class OutputBuffer {
+ public:
+  OutputBuffer(SharedLog* log, size_t capacity_bytes);
+
+  enum class Kind { kOutput, kChangeLog };
+
+  void Add(Kind kind, AppendRequest request);
+
+  bool NeedsFlush() const { return pending_bytes_ >= capacity_bytes_; }
+  size_t pending_bytes() const { return pending_bytes_; }
+  size_t pending_records() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+
+  struct FlushResult {
+    Lsn first_output = kInvalidLsn;
+    Lsn first_changelog = kInvalidLsn;
+    size_t records = 0;
+  };
+
+  // Appends all pending records as one batch. Blocks for the modeled append
+  // ack. A fenced conditional append propagates as kFenced with the buffer
+  // intact (the caller is a zombie and must stop).
+  Result<FlushResult> Flush();
+
+ private:
+  SharedLog* log_;
+  size_t capacity_bytes_;
+  std::vector<std::pair<Kind, AppendRequest>> pending_;
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_OUTPUT_BUFFER_H_

@@ -1,0 +1,116 @@
+#include "src/core/record.h"
+
+#include "src/common/serde.h"
+
+namespace impeller {
+
+std::string EncodeEnvelope(const RecordHeader& header, std::string_view body) {
+  BinaryWriter w(body.size() + header.producer.size() + 16);
+  w.WriteU8(static_cast<uint8_t>(header.type));
+  w.WriteString(header.producer);
+  w.WriteVarU64(header.instance);
+  w.WriteVarU64(header.seq);
+  w.WriteBytes(body.data(), body.size());
+  return w.Take();
+}
+
+Result<Envelope> DecodeEnvelope(std::string_view payload) {
+  BinaryReader r(payload);
+  auto type = r.ReadU8();
+  if (!type.ok()) {
+    return type.status();
+  }
+  if (*type < static_cast<uint8_t>(RecordType::kData) ||
+      *type > static_cast<uint8_t>(RecordType::kBarrier)) {
+    return DataLossError("unknown record type " + std::to_string(*type));
+  }
+  Envelope env;
+  env.header.type = static_cast<RecordType>(*type);
+  auto producer = r.ReadString();
+  if (!producer.ok()) {
+    return producer.status();
+  }
+  env.header.producer = std::move(*producer);
+  auto instance = r.ReadVarU64();
+  if (!instance.ok()) {
+    return instance.status();
+  }
+  env.header.instance = *instance;
+  auto seq = r.ReadVarU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  env.header.seq = *seq;
+  env.body = std::string(payload.substr(payload.size() - r.remaining()));
+  return env;
+}
+
+std::string EncodeDataBody(const DataBody& body) {
+  BinaryWriter w(body.key.size() + body.value.size() + 12);
+  w.WriteString(body.key);
+  w.WriteString(body.value);
+  w.WriteVarI64(body.event_time);
+  return w.Take();
+}
+
+Result<DataBody> DecodeDataBody(std::string_view raw) {
+  BinaryReader r(raw);
+  DataBody body;
+  auto key = r.ReadString();
+  if (!key.ok()) {
+    return key.status();
+  }
+  body.key = std::move(*key);
+  auto value = r.ReadString();
+  if (!value.ok()) {
+    return value.status();
+  }
+  body.value = std::move(*value);
+  auto et = r.ReadVarI64();
+  if (!et.ok()) {
+    return et.status();
+  }
+  body.event_time = *et;
+  return body;
+}
+
+std::string EncodeChangeLogBody(const ChangeLogBody& body) {
+  BinaryWriter w(body.store.size() + body.key.size() + body.value.size() + 8);
+  w.WriteString(body.store);
+  w.WriteString(body.key);
+  w.WriteBool(body.is_delete);
+  if (!body.is_delete) {
+    w.WriteString(body.value);
+  }
+  return w.Take();
+}
+
+Result<ChangeLogBody> DecodeChangeLogBody(std::string_view raw) {
+  BinaryReader r(raw);
+  ChangeLogBody body;
+  auto store = r.ReadString();
+  if (!store.ok()) {
+    return store.status();
+  }
+  body.store = std::move(*store);
+  auto key = r.ReadString();
+  if (!key.ok()) {
+    return key.status();
+  }
+  body.key = std::move(*key);
+  auto is_delete = r.ReadBool();
+  if (!is_delete.ok()) {
+    return is_delete.status();
+  }
+  body.is_delete = *is_delete;
+  if (!body.is_delete) {
+    auto value = r.ReadString();
+    if (!value.ok()) {
+      return value.status();
+    }
+    body.value = std::move(*value);
+  }
+  return body;
+}
+
+}  // namespace impeller

@@ -1,0 +1,66 @@
+// Record envelope stored in shared-log payloads. Every log record Impeller
+// writes — data, progress markers, change-log entries, transaction control
+// records (Kafka-txn baseline), and checkpoint barriers (aligned-checkpoint
+// baseline) — shares a header identifying the producing task, its instance
+// number (zombie detection, §3.4), and a per-producer sequence number
+// (duplicate-append suppression, §3.5). Data records additionally carry the
+// original event time used for end-to-end latency measurement (§5.3).
+#ifndef IMPELLER_SRC_CORE_RECORD_H_
+#define IMPELLER_SRC_CORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace impeller {
+
+enum class RecordType : uint8_t {
+  kData = 1,
+  kProgressMarker = 2,
+  kChangeLog = 3,
+  kTxnControl = 4,
+  kBarrier = 5,
+};
+
+struct RecordHeader {
+  RecordType type = RecordType::kData;
+  std::string producer;  // task id or ingress producer id
+  uint64_t instance = 0;
+  uint64_t seq = 0;
+};
+
+struct Envelope {
+  RecordHeader header;
+  std::string body;  // type-specific encoding
+};
+
+std::string EncodeEnvelope(const RecordHeader& header, std::string_view body);
+Result<Envelope> DecodeEnvelope(std::string_view payload);
+
+// --- Data record body ---
+struct DataBody {
+  std::string key;
+  std::string value;
+  TimeNs event_time = 0;
+};
+
+std::string EncodeDataBody(const DataBody& body);
+Result<DataBody> DecodeDataBody(std::string_view raw);
+
+// --- Change-log record body (one state-store mutation) ---
+struct ChangeLogBody {
+  std::string store;  // state store name within the task
+  std::string key;
+  bool is_delete = false;
+  std::string value;  // empty when is_delete
+};
+
+std::string EncodeChangeLogBody(const ChangeLogBody& body);
+Result<ChangeLogBody> DecodeChangeLogBody(std::string_view raw);
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_RECORD_H_

@@ -1,0 +1,172 @@
+#include "src/core/state_store.h"
+
+#include "src/common/serde.h"
+
+namespace impeller {
+
+MapStateStore::MapStateStore(std::string name, ChangeSink sink)
+    : name_(std::move(name)), sink_(std::move(sink)) {}
+
+std::optional<std::string> MapStateStore::Get(std::string_view key) const {
+  auto it = data_.find(std::string(key));
+  if (it == data_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void MapStateStore::Put(std::string_view key, std::string_view value) {
+  auto [it, inserted] = data_.insert_or_assign(std::string(key),
+                                               std::string(value));
+  if (inserted) {
+    bytes_ += key.size() + value.size();
+  } else {
+    // Replaced: adjust for the value size delta only.
+    bytes_ += value.size();
+  }
+  if (sink_) {
+    ChangeLogBody change;
+    change.store = name_;
+    change.key = std::string(key);
+    change.value = std::string(value);
+    sink_(change);
+  }
+}
+
+void MapStateStore::Delete(std::string_view key) {
+  auto it = data_.find(std::string(key));
+  if (it == data_.end()) {
+    return;
+  }
+  bytes_ -= std::min(bytes_, it->first.size() + it->second.size());
+  data_.erase(it);
+  if (sink_) {
+    ChangeLogBody change;
+    change.store = name_;
+    change.key = std::string(key);
+    change.is_delete = true;
+    sink_(change);
+  }
+}
+
+void MapStateStore::ScanPrefix(
+    std::string_view prefix,
+    const std::function<bool(std::string_view, std::string_view)>& visit)
+    const {
+  for (auto it = data_.lower_bound(std::string(prefix)); it != data_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (!visit(it->first, it->second)) {
+      break;
+    }
+  }
+}
+
+void MapStateStore::ScanRange(
+    std::string_view from, std::string_view to,
+    const std::function<bool(std::string_view, std::string_view)>& visit)
+    const {
+  auto it = data_.lower_bound(std::string(from));
+  auto end = data_.lower_bound(std::string(to));
+  for (; it != end; ++it) {
+    if (!visit(it->first, it->second)) {
+      break;
+    }
+  }
+}
+
+void MapStateStore::DeleteRange(std::string_view from, std::string_view to) {
+  std::vector<std::string> doomed;
+  ScanRange(from, to, [&](std::string_view key, std::string_view) {
+    doomed.emplace_back(key);
+    return true;
+  });
+  for (const auto& key : doomed) {
+    Delete(key);
+  }
+}
+
+void MapStateStore::ApplyChange(const ChangeLogBody& change) {
+  if (change.is_delete) {
+    auto it = data_.find(change.key);
+    if (it != data_.end()) {
+      bytes_ -= std::min(bytes_, it->first.size() + it->second.size());
+      data_.erase(it);
+    }
+    return;
+  }
+  auto [it, inserted] = data_.insert_or_assign(change.key, change.value);
+  if (inserted) {
+    bytes_ += change.key.size() + change.value.size();
+  } else {
+    bytes_ += change.value.size();
+  }
+}
+
+std::string MapStateStore::SerializeSnapshot() const {
+  BinaryWriter w(bytes_ + 16);
+  w.WriteVarU64(data_.size());
+  for (const auto& [key, value] : data_) {
+    w.WriteString(key);
+    w.WriteString(value);
+  }
+  return w.Take();
+}
+
+Status MapStateStore::RestoreSnapshot(std::string_view raw) {
+  Clear();
+  BinaryReader r(raw);
+  auto n = r.ReadVarU64();
+  if (!n.ok()) {
+    return n.status();
+  }
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto key = r.ReadString();
+    if (!key.ok()) {
+      return key.status();
+    }
+    auto value = r.ReadString();
+    if (!value.ok()) {
+      return value.status();
+    }
+    bytes_ += key->size() + value->size();
+    data_.emplace(std::move(*key), std::move(*value));
+  }
+  return OkStatus();
+}
+
+void MapStateStore::Clear() {
+  data_.clear();
+  bytes_ = 0;
+}
+
+std::string EncodeCompositeKey(std::string_view key, uint64_t suffix) {
+  std::string out;
+  out.reserve(key.size() + 9);
+  out.append(key);
+  out.push_back('\0');
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<char>((suffix >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+Result<std::pair<std::string, uint64_t>> DecodeCompositeKey(
+    std::string_view raw) {
+  if (raw.size() < 9) {
+    return DataLossError("composite key too short");
+  }
+  size_t sep = raw.size() - 9;
+  if (raw[sep] != '\0') {
+    return DataLossError("composite key missing separator");
+  }
+  uint64_t suffix = 0;
+  for (size_t i = sep + 1; i < raw.size(); ++i) {
+    suffix = (suffix << 8) | static_cast<uint8_t>(raw[i]);
+  }
+  return std::make_pair(std::string(raw.substr(0, sep)), suffix);
+}
+
+}  // namespace impeller

@@ -1,0 +1,78 @@
+// In-memory state store with change-log capture (paper §4: "Impeller stores
+// state in memory for low access latency ... updates to the local state
+// store are appended to a change log stream for fault tolerance").
+//
+// All operator state — aggregate tables, window panes, join buffers — is
+// kept in MapStateStores over an ordered map with type-specific key
+// encodings, so change-log replay, snapshotting and checkpointing are
+// uniform across every stateful operator.
+#ifndef IMPELLER_SRC_CORE_STATE_STORE_H_
+#define IMPELLER_SRC_CORE_STATE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/core/record.h"
+
+namespace impeller {
+
+// Receives every mutation for change-log appends. Null = capture disabled
+// (replay, unsafe mode).
+using ChangeSink = std::function<void(const ChangeLogBody&)>;
+
+class MapStateStore {
+ public:
+  MapStateStore(std::string name, ChangeSink sink);
+
+  const std::string& name() const { return name_; }
+
+  std::optional<std::string> Get(std::string_view key) const;
+  void Put(std::string_view key, std::string_view value);
+  void Delete(std::string_view key);
+
+  // Visits entries with the given prefix in key order; visitor returns
+  // false to stop early.
+  void ScanPrefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view, std::string_view)>& visit)
+      const;
+
+  // Visits entries in [from, to) in key order.
+  void ScanRange(
+      std::string_view from, std::string_view to,
+      const std::function<bool(std::string_view, std::string_view)>& visit)
+      const;
+
+  // Deletes every key in [from, to); each deletion is captured.
+  void DeleteRange(std::string_view from, std::string_view to);
+
+  size_t size() const { return data_.size(); }
+  size_t SizeBytes() const { return bytes_; }
+
+  // --- recovery / checkpointing (no change capture) ---
+  void ApplyChange(const ChangeLogBody& change);
+  std::string SerializeSnapshot() const;
+  Status RestoreSnapshot(std::string_view raw);
+  void Clear();
+
+ private:
+  std::string name_;
+  ChangeSink sink_;
+  std::map<std::string, std::string> data_;
+  size_t bytes_ = 0;
+};
+
+// Order-preserving composite keys for window panes and join buffers:
+// <user key> '\0' <big-endian u64>. User keys must not contain NUL.
+std::string EncodeCompositeKey(std::string_view key, uint64_t suffix);
+Result<std::pair<std::string, uint64_t>> DecodeCompositeKey(
+    std::string_view raw);
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_STATE_STORE_H_

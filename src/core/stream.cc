@@ -1,0 +1,41 @@
+#include "src/core/stream.h"
+
+namespace impeller {
+
+std::string DataTag(std::string_view stream, uint32_t substream) {
+  std::string tag = "d/";
+  tag += stream;
+  tag += '/';
+  tag += std::to_string(substream);
+  return tag;
+}
+
+std::string TaskLogTag(std::string_view task_id) {
+  std::string tag = "t/";
+  tag += task_id;
+  return tag;
+}
+
+std::string ChangeLogTag(std::string_view task_id) {
+  std::string tag = "c/";
+  tag += task_id;
+  return tag;
+}
+
+std::string InstanceMetaKey(std::string_view task_id) {
+  std::string key = "inst/";
+  key += task_id;
+  return key;
+}
+
+std::string MakeTaskId(std::string_view query, std::string_view stage,
+                       uint32_t index) {
+  std::string id(query);
+  id += '/';
+  id += stage;
+  id += '/';
+  id += std::to_string(index);
+  return id;
+}
+
+}  // namespace impeller

@@ -1,0 +1,31 @@
+// Stream, substream and tag naming (paper §3.2, Table 1).
+//
+// A *stream* is a named sequence of data records flowing between two stages;
+// a *substream* is the totally ordered partition of a stream consumed by one
+// task. Substreams are realized as shared-log tags:
+//   data substream:      d/<stream>/<substream index>
+//   task log substream:  t/<task id>      (progress markers, §3.2)
+//   change log:          c/<task id>      (state updates, §3.2)
+// The task manager's instance numbers live in the log's KV metadata under
+// inst/<task id> (§3.4).
+#ifndef IMPELLER_SRC_CORE_STREAM_H_
+#define IMPELLER_SRC_CORE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace impeller {
+
+std::string DataTag(std::string_view stream, uint32_t substream);
+std::string TaskLogTag(std::string_view task_id);
+std::string ChangeLogTag(std::string_view task_id);
+std::string InstanceMetaKey(std::string_view task_id);
+
+// Task ids are "<query>/<stage>/<index>".
+std::string MakeTaskId(std::string_view query, std::string_view stage,
+                       uint32_t index);
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_STREAM_H_

@@ -1,0 +1,143 @@
+#include "src/core/substream_reader.h"
+
+#include "src/common/logging.h"
+
+namespace impeller {
+
+SubstreamReader::SubstreamReader(SharedLog* log, std::string tag,
+                                 uint32_t input_index, CommitTracker* tracker,
+                                 Lsn start_lsn)
+    : log_(log),
+      tag_(std::move(tag)),
+      input_index_(input_index),
+      tracker_(tracker),
+      next_lsn_(start_lsn) {}
+
+void SubstreamReader::ResetCursor(Lsn lsn) {
+  next_lsn_ = lsn;
+  buffer_.clear();
+}
+
+void SubstreamReader::Restore(Lsn next_lsn, Lsn floor) {
+  ResetCursor(next_lsn);
+  committed_floor_ = floor;
+}
+
+void SubstreamReader::Drain(std::vector<ReadyRecord>* out) {
+  while (!buffer_.empty()) {
+    BufferedEntry& head = buffer_.front();
+    CommitState state = tracker_->Classify(head.header, head.lsn);
+    if (state == CommitState::kUnknown) {
+      return;  // wait for a later commit event (paper §3.3.3, case 3)
+    }
+    committed_floor_ = head.lsn;
+    if (state == CommitState::kCommitted &&
+        !tracker_->IsDuplicate(tag_, head.header)) {
+      ReadyRecord ready;
+      ready.input = input_index_;
+      ready.lsn = head.lsn;
+      ready.header = std::move(head.header);
+      ready.data = std::move(head.data);
+      out->push_back(std::move(ready));
+    }
+    buffer_.pop_front();
+  }
+}
+
+void SubstreamReader::HandleEntry(const LogEntry& entry, Envelope env,
+                                  std::vector<ReadyRecord>* out,
+                                  const Hooks& hooks) {
+  switch (env.header.type) {
+    case RecordType::kProgressMarker: {
+      tracker_->OnCommitEvent(env.header.producer, env.header.instance,
+                              entry.lsn);
+      if (buffer_.empty()) {
+        committed_floor_ = entry.lsn;
+      }
+      Drain(out);
+      return;
+    }
+    case RecordType::kTxnControl: {
+      auto body = DecodeTxnControlBody(env.body);
+      if (body.ok() && body->kind == TxnControlKind::kCommit) {
+        tracker_->OnCommitEvent(env.header.producer, env.header.instance,
+                                entry.lsn);
+        Drain(out);
+      }
+      if (buffer_.empty()) {
+        committed_floor_ = entry.lsn;
+      }
+      return;
+    }
+    case RecordType::kBarrier: {
+      auto body = DecodeBarrierBody(env.body);
+      if (body.ok() && hooks.on_barrier) {
+        hooks.on_barrier(input_index_, env.header, *body, entry.lsn);
+      }
+      if (buffer_.empty()) {
+        committed_floor_ = entry.lsn;
+      }
+      return;
+    }
+    case RecordType::kData: {
+      auto data = DecodeDataBody(env.body);
+      if (!data.ok()) {
+        LOG_ERROR << "corrupt data record at lsn " << entry.lsn << " on "
+                  << tag_ << ": " << data.status().ToString();
+        return;
+      }
+      if (!buffer_.empty()) {
+        // Preserve substream FIFO order behind an unknown head.
+        buffer_.push_back({entry.lsn, env.header, std::move(*data)});
+        return;
+      }
+      CommitState state = tracker_->Classify(env.header, entry.lsn);
+      if (state == CommitState::kUnknown) {
+        buffer_.push_back({entry.lsn, env.header, std::move(*data)});
+        return;
+      }
+      committed_floor_ = entry.lsn;
+      if (state == CommitState::kCommitted &&
+          !tracker_->IsDuplicate(tag_, env.header)) {
+        ReadyRecord ready;
+        ready.input = input_index_;
+        ready.lsn = entry.lsn;
+        ready.header = std::move(env.header);
+        ready.data = std::move(*data);
+        out->push_back(std::move(ready));
+      }
+      return;
+    }
+    case RecordType::kChangeLog:
+      // Change-log records carry only the (C, task) tag and are never read
+      // through data substreams; seeing one here means a tagging bug.
+      LOG_ERROR << "change-log record on data substream " << tag_;
+      return;
+  }
+}
+
+Result<size_t> SubstreamReader::Poll(size_t max_new,
+                                     std::vector<ReadyRecord>* out,
+                                     const Hooks& hooks) {
+  size_t consumed = 0;
+  while (consumed < max_new) {
+    auto entry = log_->ReadNext(tag_, next_lsn_);
+    if (!entry.ok()) {
+      if (entry.status().code() == StatusCode::kNotFound) {
+        break;  // caught up
+      }
+      return entry.status();  // kTrimmed or internal errors propagate
+    }
+    next_lsn_ = entry->lsn + 1;
+    ++consumed;
+    auto env = DecodeEnvelope(entry->payload);
+    if (!env.ok()) {
+      LOG_ERROR << "corrupt envelope at lsn " << entry->lsn << " on " << tag_;
+      continue;
+    }
+    HandleEntry(*entry, std::move(*env), out, hooks);
+  }
+  return consumed;
+}
+
+}  // namespace impeller

@@ -1,0 +1,444 @@
+#include "src/core/task_manager.h"
+
+#include "src/common/logging.h"
+#include "src/core/stream.h"
+
+namespace impeller {
+
+TaskManager::TaskManager(SharedLog* log, KvStore* checkpoint_store,
+                         EngineConfig config, MetricsRegistry* metrics,
+                         Clock* clock)
+    : log_(log),
+      checkpoint_store_(checkpoint_store),
+      config_(config),
+      metrics_(metrics),
+      clock_(clock) {}
+
+TaskManager::~TaskManager() { Stop(); }
+
+Status TaskManager::Submit(QueryPlan plan) {
+  if (submitted_) {
+    return InvalidArgumentError(
+        "one TaskManager runs one query (one shared log per query, §3.1)");
+  }
+  plan_ = std::move(plan);
+  submitted_ = true;
+
+  if (config_.protocol == ProtocolKind::kKafkaTxn) {
+    TxnCoordinatorOptions opts;
+    opts.name = plan_.name;
+    txn_coordinator_ = std::make_unique<TxnCoordinator>(log_, clock_, opts);
+    txn_coordinator_->Start();
+  }
+  if (config_.protocol == ProtocolKind::kAlignedCheckpoint) {
+    BarrierCoordinatorOptions opts;
+    opts.query = plan_.name;
+    opts.interval = config_.commit_interval;
+    barrier_coordinator_ = std::make_unique<BarrierCoordinator>(
+        log_, checkpoint_store_, clock_, opts);
+    std::vector<std::string> ingress_tags;
+    for (const auto& [name, stream] : plan_.streams) {
+      if (stream.external) {
+        for (uint32_t sub = 0; sub < stream.num_substreams; ++sub) {
+          ingress_tags.push_back(DataTag(name, sub));
+        }
+      }
+    }
+    std::vector<std::string> task_ids;
+    for (const auto& stage : plan_.stages) {
+      for (uint32_t i = 0; i < stage.num_tasks; ++i) {
+        task_ids.push_back(MakeTaskId(plan_.name, stage.name, i));
+      }
+    }
+    barrier_coordinator_->Configure(std::move(ingress_tags),
+                                    std::move(task_ids));
+  }
+  if (config_.enable_gc) {
+    gc_worker_ = std::make_unique<GcWorker>(log_, &gc_registry_, clock_,
+                                            config_.gc_interval);
+  }
+  bool marker_mode = config_.protocol == ProtocolKind::kProgressMarking ||
+                     config_.protocol == ProtocolKind::kKafkaTxn;
+  if (marker_mode && config_.enable_checkpointing) {
+    checkpoint_worker_ = std::make_unique<CheckpointWorker>(
+        log_, checkpoint_store_, clock_, config_.snapshot_interval,
+        config_.enable_gc ? &gc_registry_ : nullptr);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& stage : plan_.stages) {
+      for (uint32_t i = 0; i < stage.num_tasks; ++i) {
+        std::string task_id = MakeTaskId(plan_.name, stage.name, i);
+        TaskEntry& entry = tasks_[task_id];
+        entry.stage = plan_.FindStage(stage.name);
+        entry.index = i;
+        if (checkpoint_worker_ != nullptr && stage.stateful) {
+          checkpoint_worker_->RegisterTask(task_id);
+        }
+        IMPELLER_RETURN_IF_ERROR(SpawnLocked(entry, task_id));
+      }
+    }
+  }
+
+  if (checkpoint_worker_ != nullptr) {
+    checkpoint_worker_->Start();
+  }
+  if (gc_worker_ != nullptr) {
+    gc_worker_->Start();
+  }
+  if (barrier_coordinator_ != nullptr) {
+    barrier_coordinator_->Start();
+  }
+  running_.store(true);
+  if (config_.auto_restart) {
+    monitor_ = JoiningThread([this] { MonitorLoop(); });
+  }
+  return OkStatus();
+}
+
+Status TaskManager::SpawnLocked(TaskEntry& entry, const std::string& task_id,
+                                const std::map<std::string, Lsn>* initial_ends) {
+  // Mint the instance number atomically in the log's metadata: this is what
+  // fences any still-running older instance (§3.4).
+  uint64_t instance = log_->MetaIncrement(InstanceMetaKey(task_id));
+
+  TaskWiring wiring;
+  wiring.plan = &plan_;
+  wiring.stage = entry.stage;
+  wiring.index = entry.index;
+  wiring.instance = instance;
+  wiring.log = log_;
+  wiring.checkpoint_store = checkpoint_store_;
+  wiring.config = config_;
+  wiring.metrics = metrics_;
+  wiring.clock = clock_;
+  wiring.txn_coordinator = txn_coordinator_.get();
+  wiring.barrier_coordinator = barrier_coordinator_.get();
+  wiring.gc = config_.enable_gc ? &gc_registry_ : nullptr;
+  if (initial_ends != nullptr) {
+    wiring.initial_input_ends = *initial_ends;
+  }
+
+  if (entry.runtime != nullptr) {
+    entry.old.emplace_back(std::move(entry.runtime), std::move(entry.thread));
+  }
+  entry.runtime = std::make_unique<TaskRuntime>(std::move(wiring));
+  TaskRuntime* rt = entry.runtime.get();
+  entry.thread = JoiningThread([rt] { rt->Run(); });
+  return OkStatus();
+}
+
+void TaskManager::Stop() {
+  if (!submitted_) {
+    return;
+  }
+  running_.store(false);
+  monitor_.Join();
+  // Stop stages in topological order so each stage's final cut is already
+  // in the log when its consumer drains (graceful shutdown = a complete,
+  // consistent run).
+  std::vector<const StageSpec*> order = TopologicalStageOrder();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Zombies first: they are superseded and hold no obligations.
+    for (auto& [id, entry] : tasks_) {
+      for (auto& [rt, thread] : entry.old) {
+        rt->RequestStop();
+      }
+    }
+  }
+  for (const StageSpec* stage : order) {
+    std::vector<std::string> ids;
+    for (uint32_t i = 0; i < stage->num_tasks; ++i) {
+      ids.push_back(MakeTaskId(plan_.name, stage->name, i));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& id : ids) {
+      auto it = tasks_.find(id);
+      if (it == tasks_.end()) {
+        continue;
+      }
+      if (it->second.runtime != nullptr) {
+        it->second.runtime->RequestStop();
+      }
+    }
+    for (const auto& id : ids) {
+      auto it = tasks_.find(id);
+      if (it != tasks_.end()) {
+        it->second.thread.Join();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, entry] : tasks_) {
+      entry.thread.Join();
+      for (auto& [rt, thread] : entry.old) {
+        thread.Join();
+      }
+    }
+  }
+  if (barrier_coordinator_ != nullptr) {
+    barrier_coordinator_->Stop();
+  }
+  if (txn_coordinator_ != nullptr) {
+    txn_coordinator_->Stop();
+  }
+  if (checkpoint_worker_ != nullptr) {
+    checkpoint_worker_->Stop();
+  }
+  if (gc_worker_ != nullptr) {
+    gc_worker_->Stop();
+  }
+}
+
+Status TaskManager::CrashTask(const std::string& task_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end() || it->second.runtime == nullptr) {
+    return NotFoundError("unknown task " + task_id);
+  }
+  it->second.runtime->Crash();
+  return OkStatus();
+}
+
+Result<RecoveryStats> TaskManager::RestartTask(const std::string& task_id) {
+  TaskRuntime* rt = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(task_id);
+    if (it == tasks_.end()) {
+      return NotFoundError("unknown task " + task_id);
+    }
+    TaskEntry& entry = it->second;
+    if (entry.runtime != nullptr) {
+      entry.runtime->Crash();
+      entry.thread.Join();
+    }
+    IMPELLER_RETURN_IF_ERROR(SpawnLocked(entry, task_id));
+    rt = entry.runtime.get();
+  }
+  while (!rt->started() && !rt->finished()) {
+    clock_->SleepFor(100 * kMicrosecond);
+  }
+  if (rt->finished() && !rt->final_status().ok()) {
+    return rt->final_status();
+  }
+  return rt->recovery_stats();
+}
+
+Status TaskManager::StartReplacement(const std::string& task_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return NotFoundError("unknown task " + task_id);
+  }
+  // Deliberately do NOT stop the old instance: it becomes a zombie that the
+  // conditional-append fence must neutralize.
+  return SpawnLocked(it->second, task_id);
+}
+
+TaskRuntime* TaskManager::FindTask(const std::string& task_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(task_id);
+  return it == tasks_.end() ? nullptr : it->second.runtime.get();
+}
+
+std::vector<std::string> TaskManager::AllTaskIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, entry] : tasks_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+bool TaskManager::AllTasksIdle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, entry] : tasks_) {
+    if (entry.runtime != nullptr && !entry.runtime->finished()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status TaskManager::RescaleStage(const std::string& stage_name,
+                                 uint32_t new_tasks) {
+  StageSpec* stage = nullptr;
+  for (auto& s : plan_.stages) {
+    if (s.name == stage_name) {
+      stage = &s;
+    }
+  }
+  if (stage == nullptr) {
+    return NotFoundError("unknown stage " + stage_name);
+  }
+  if (stage->stateful) {
+    return InvalidArgumentError(
+        "stateful stages cannot rescale yet (keyed state does not migrate)");
+  }
+  if (new_tasks == 0 || new_tasks > stage->num_substreams) {
+    return InvalidArgumentError(
+        "task count must be in [1, num_substreams] (" +
+        std::to_string(stage->num_substreams) + ")");
+  }
+  if (config_.protocol != ProtocolKind::kProgressMarking &&
+      config_.protocol != ProtocolKind::kKafkaTxn) {
+    return InvalidArgumentError(
+        "rescaling requires a marker protocol (substream handoff reads the "
+        "final progress markers)");
+  }
+
+  uint32_t old_tasks = stage->num_tasks;
+  std::vector<std::string> old_ids;
+  for (uint32_t i = 0; i < old_tasks; ++i) {
+    old_ids.push_back(MakeTaskId(plan_.name, stage->name, i));
+  }
+
+  // 1. Stop the old generation gracefully: each task drains and commits a
+  //    final marker covering everything it consumed.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& id : old_ids) {
+      auto it = tasks_.find(id);
+      if (it != tasks_.end() && it->second.runtime != nullptr) {
+        it->second.runtime->RequestStop();
+      }
+    }
+    for (const auto& id : old_ids) {
+      auto it = tasks_.find(id);
+      if (it != tasks_.end()) {
+        it->second.thread.Join();
+      }
+    }
+  }
+
+  // 2. Gather every substream's consumed end from the final markers.
+  std::map<std::string, Lsn> ends;
+  for (const auto& id : old_ids) {
+    auto last = log_->ReadLast(TaskLogTag(id));
+    if (!last.ok()) {
+      continue;  // task never committed anything: its substreams start fresh
+    }
+    auto env = DecodeEnvelope(last->payload);
+    if (!env.ok()) {
+      return env.status();
+    }
+    auto cut = ExtractCut(*env, last->lsn, id);
+    if (!cut.ok()) {
+      return cut.status();
+    }
+    if (!cut->has_value()) {
+      continue;
+    }
+    for (const auto& [tag, end] : (*cut)->input_ends) {
+      Lsn& slot = ends[tag];
+      if (end != kInvalidLsn && (slot == 0 || end > slot)) {
+        slot = end;
+      }
+    }
+  }
+
+  // 3. Spawn the new generation; substream ownership is recomputed from the
+  //    new task count, and the handed-off ends seed each reader's cursor.
+  std::lock_guard<std::mutex> lock(mu_);
+  stage->num_tasks = new_tasks;
+  for (uint32_t i = 0; i < new_tasks; ++i) {
+    std::string task_id = MakeTaskId(plan_.name, stage->name, i);
+    TaskEntry& entry = tasks_[task_id];
+    entry.stage = stage;
+    entry.index = i;
+    IMPELLER_RETURN_IF_ERROR(SpawnLocked(entry, task_id, &ends));
+  }
+  return OkStatus();
+}
+
+std::vector<const StageSpec*> TaskManager::TopologicalStageOrder() const {
+  // Kahn's algorithm over producer -> consumer stream edges.
+  std::map<std::string, int> indegree;
+  std::map<std::string, std::vector<std::string>> edges;
+  for (const auto& stage : plan_.stages) {
+    indegree[stage.name];  // ensure presence
+  }
+  for (const auto& [name, stream] : plan_.streams) {
+    if (stream.external || stream.egress || stream.producer_stage.empty() ||
+        stream.consumer_stage.empty()) {
+      continue;
+    }
+    edges[stream.producer_stage].push_back(stream.consumer_stage);
+    indegree[stream.consumer_stage]++;
+  }
+  std::vector<const StageSpec*> order;
+  std::vector<std::string> ready;
+  for (const auto& [name, deg] : indegree) {
+    if (deg == 0) {
+      ready.push_back(name);
+    }
+  }
+  while (!ready.empty()) {
+    std::string name = ready.back();
+    ready.pop_back();
+    order.push_back(plan_.FindStage(name));
+    for (const auto& next : edges[name]) {
+      if (--indegree[next] == 0) {
+        ready.push_back(next);
+      }
+    }
+  }
+  if (order.size() != plan_.stages.size()) {
+    // Should be unreachable (Build() validates the DAG); fall back to
+    // declaration order rather than dropping stages.
+    order.clear();
+    for (const auto& stage : plan_.stages) {
+      order.push_back(&stage);
+    }
+  }
+  return order;
+}
+
+void TaskManager::MonitorLoop() {
+  while (running_.load()) {
+    clock_->SleepFor(config_.heartbeat_interval);
+    if (!running_.load()) {
+      return;
+    }
+    std::vector<std::string> dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TimeNs now = clock_->Now();
+      for (auto& [id, entry] : tasks_) {
+        TaskRuntime* rt = entry.runtime.get();
+        if (rt == nullptr) {
+          continue;
+        }
+        if (rt->finished()) {
+          // Graceful exits and fenced zombies are final; crashes restart.
+          Status st = rt->final_status();
+          if (!st.ok() && st.code() != StatusCode::kFenced) {
+            dead.push_back(id);
+          }
+          continue;
+        }
+        if (now - rt->last_heartbeat() > config_.failure_timeout) {
+          dead.push_back(id);
+        }
+      }
+    }
+    for (const auto& id : dead) {
+      LOG_WARN << "task " << id << " presumed failed; restarting";
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = tasks_.find(id);
+      if (it != tasks_.end()) {
+        Status st = SpawnLocked(it->second, id);
+        if (!st.ok()) {
+          LOG_ERROR << "restart of " << id << " failed: " << st.ToString();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace impeller

@@ -1,0 +1,126 @@
+// TaskManager (paper §3.2, §3.4): schedules a query's tasks, assigns each a
+// unique id and an instance number minted atomically in the shared log's
+// configuration metadata, monitors heartbeats, and restarts tasks that
+// crash or go silent. Restarted tasks get an incremented instance number,
+// which fences the old instance's conditional appends — the zombie
+// neutralization mechanism of §3.4.
+//
+// One manager runs one query, matching the paper's deployment of one shared
+// log instance per stream query (§3.1).
+#ifndef IMPELLER_SRC_CORE_TASK_MANAGER_H_
+#define IMPELLER_SRC_CORE_TASK_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/threading.h"
+#include "src/core/checkpoint.h"
+#include "src/core/config.h"
+#include "src/core/gc.h"
+#include "src/core/metrics.h"
+#include "src/core/query.h"
+#include "src/core/task_runtime.h"
+#include "src/kvstore/kv_store.h"
+#include "src/protocols/barrier_coordinator.h"
+#include "src/protocols/txn_coordinator.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace impeller {
+
+class TaskManager {
+ public:
+  TaskManager(SharedLog* log, KvStore* checkpoint_store, EngineConfig config,
+              MetricsRegistry* metrics, Clock* clock);
+  ~TaskManager();
+
+  // Starts every task of the plan (plus the protocol coordinators, the
+  // checkpoint worker, and GC when enabled). One plan per manager.
+  Status Submit(QueryPlan plan);
+
+  // Graceful shutdown: each task flushes and commits a final cut.
+  void Stop();
+
+  // --- fault injection / recovery (used by tests and Table 4) ---
+
+  // Simulates a server failure: the task thread exits without flushing.
+  // With auto_restart the monitor will eventually replace it; call
+  // RestartTask for an immediate, measured restart.
+  Status CrashTask(const std::string& task_id);
+
+  // Mints a new instance number (fencing the old one) and starts a
+  // replacement; blocks until its recovery completes and returns the stats.
+  Result<RecoveryStats> RestartTask(const std::string& task_id);
+
+  // Zombie scenario (§3.4): starts a replacement WITHOUT stopping the old
+  // instance, as a task manager with a stale failure verdict would.
+  Status StartReplacement(const std::string& task_id);
+
+  // Rescales a *stateless* stage to `new_tasks` tasks (the paper's skew
+  // response, §5.3: substreams are fixed at plan time via WithSubstreams,
+  // so rescaling reassigns substreams to tasks without repartitioning).
+  // The old generation stops gracefully; its final markers hand each
+  // substream's consumed position to the new generation. Stateful stages
+  // are rejected: their keyed state cannot yet migrate between tasks.
+  Status RescaleStage(const std::string& stage_name, uint32_t new_tasks);
+
+  // Current (newest-instance) runtime for a task; nullptr when unknown.
+  TaskRuntime* FindTask(const std::string& task_id);
+
+  std::vector<std::string> AllTaskIds() const;
+  bool AllTasksIdle() const;  // every current task finished?
+
+  const QueryPlan& plan() const { return plan_; }
+  TxnCoordinator* txn_coordinator() { return txn_coordinator_.get(); }
+  BarrierCoordinator* barrier_coordinator() {
+    return barrier_coordinator_.get();
+  }
+  CheckpointWorker* checkpoint_worker() { return checkpoint_worker_.get(); }
+  GcWorker* gc_worker() { return gc_worker_.get(); }
+  GcRegistry* gc_registry() { return &gc_registry_; }
+
+ private:
+  struct TaskEntry {
+    const StageSpec* stage = nullptr;
+    uint32_t index = 0;
+    std::unique_ptr<TaskRuntime> runtime;
+    JoiningThread thread;
+    // Superseded instances kept alive until their threads exit (zombies).
+    std::vector<std::pair<std::unique_ptr<TaskRuntime>, JoiningThread>> old;
+  };
+
+  // Spawns a new instance for the entry (caller holds mu_). `initial_ends`
+  // optionally seeds input cursors (rescale handoff).
+  Status SpawnLocked(TaskEntry& entry, const std::string& task_id,
+                     const std::map<std::string, Lsn>* initial_ends = nullptr);
+  std::vector<const StageSpec*> TopologicalStageOrder() const;
+  void MonitorLoop();
+
+  SharedLog* log_;
+  KvStore* checkpoint_store_;
+  EngineConfig config_;
+  MetricsRegistry* metrics_;
+  Clock* clock_;
+
+  QueryPlan plan_;
+  bool submitted_ = false;
+
+  mutable std::mutex mu_;
+  std::map<std::string, TaskEntry> tasks_;
+
+  std::unique_ptr<TxnCoordinator> txn_coordinator_;
+  std::unique_ptr<BarrierCoordinator> barrier_coordinator_;
+  std::unique_ptr<CheckpointWorker> checkpoint_worker_;
+  GcRegistry gc_registry_;
+  std::unique_ptr<GcWorker> gc_worker_;
+
+  std::atomic<bool> running_{false};
+  JoiningThread monitor_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_TASK_MANAGER_H_

@@ -1,0 +1,845 @@
+#include "src/core/task_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+#include "src/core/stream.h"
+#include "src/protocols/barrier_coordinator.h"
+#include "src/protocols/txn_coordinator.h"
+
+namespace impeller {
+
+namespace {
+
+std::string AlignedSnapshotKey(std::string_view task_id, uint64_t ckpt_id) {
+  return "actl/" + std::string(task_id) + "/" + std::to_string(ckpt_id);
+}
+
+}  // namespace
+
+// Routes an operator's emissions: output 0 feeds the next operator in the
+// chain; outputs > 0 bypass the rest of the chain and go straight to the
+// stage's output streams (how Branch fans out mid-chain).
+class TaskRuntime::ChainCollector final : public Collector {
+ public:
+  ChainCollector(TaskRuntime* rt, size_t next) : rt_(rt), next_(next) {}
+  void EmitTo(uint32_t output, StreamRecord record) override {
+    if (output == 0) {
+      rt_->operators_[next_]->Process(0, std::move(record),
+                                      rt_->collectors_[next_].get());
+    } else {
+      rt_->EmitOutput(output, std::move(record));
+    }
+  }
+
+ private:
+  TaskRuntime* rt_;
+  size_t next_;
+};
+
+// Terminal collector: every emission targets a stage output stream.
+class TaskRuntime::StageCollector final : public Collector {
+ public:
+  explicit StageCollector(TaskRuntime* rt) : rt_(rt) {}
+  void EmitTo(uint32_t output, StreamRecord record) override {
+    rt_->EmitOutput(output, std::move(record));
+  }
+
+ private:
+  TaskRuntime* rt_;
+};
+
+TaskRuntime::TaskRuntime(TaskWiring wiring)
+    : wiring_(std::move(wiring)),
+      task_id_(MakeTaskId(wiring_.plan->name, wiring_.stage->name,
+                          wiring_.index)),
+      tracker_(wiring_.config.protocol == ProtocolKind::kProgressMarking ||
+               wiring_.config.protocol == ProtocolKind::kKafkaTxn),
+      output_buffer_(wiring_.log, wiring_.config.output_buffer_bytes) {
+  uses_markers_ = tracker_.read_committed();
+  capture_changes_ = uses_markers_ && wiring_.stage->stateful;
+}
+
+TaskRuntime::~TaskRuntime() = default;
+
+Status TaskRuntime::final_status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return final_status_;
+}
+
+MapStateStore* TaskRuntime::GetStore(std::string_view name) {
+  auto& slot = stores_[std::string(name)];
+  if (slot == nullptr) {
+    ChangeSink sink;
+    if (capture_changes_) {
+      sink = [this](const ChangeLogBody& change) { OnStateChange(change); };
+    }
+    slot = std::make_unique<MapStateStore>(std::string(name), std::move(sink));
+  }
+  return slot.get();
+}
+
+void TaskRuntime::OnStateChange(const ChangeLogBody& change) {
+  RecordHeader header;
+  header.type = RecordType::kChangeLog;
+  header.producer = task_id_;
+  header.instance = wiring_.instance;
+  header.seq = ++out_seq_;
+  AppendRequest req;
+  req.tags.push_back(ChangeLogTag(task_id_));
+  req.payload = EncodeEnvelope(header, EncodeChangeLogBody(change));
+  epoch_touched_tags_.insert(req.tags[0]);
+  epoch_dirty_ = true;
+  output_buffer_.Add(OutputBuffer::Kind::kChangeLog, std::move(req));
+}
+
+void TaskRuntime::EmitOutput(uint32_t output, StreamRecord record) {
+  if (output >= wiring_.stage->outputs.size()) {
+    LOG_ERROR << task_id_ << ": emission to undeclared output " << output;
+    return;
+  }
+  const OutputSpec& spec = wiring_.stage->outputs[output];
+  const StreamSpec& stream = wiring_.plan->streams.at(spec.stream);
+  uint32_t sub;
+  if (output_is_egress_[output]) {
+    sub = wiring_.index;  // egress: one substream per sinking task
+  } else if (spec.partitioner) {
+    sub = spec.partitioner(record.key, stream.num_substreams);
+  } else {
+    sub = HashPartition(record.key, stream.num_substreams);
+  }
+  DataBody body;
+  body.key = std::move(record.key);
+  body.value = std::move(record.value);
+  body.event_time = record.event_time;
+  RecordHeader header;
+  header.type = RecordType::kData;
+  header.producer = task_id_;
+  header.instance = wiring_.instance;
+  header.seq = ++out_seq_;
+  AppendRequest req;
+  req.tags.push_back(DataTag(spec.stream, sub));
+  req.payload = EncodeEnvelope(header, EncodeDataBody(body));
+  epoch_touched_tags_.insert(req.tags[0]);
+  epoch_dirty_ = true;
+  output_buffer_.Add(OutputBuffer::Kind::kOutput, std::move(req));
+}
+
+std::vector<std::pair<std::string, Lsn>> TaskRuntime::CurrentInputEnds()
+    const {
+  std::vector<std::pair<std::string, Lsn>> ends;
+  ends.reserve(readers_.size());
+  for (const auto& reader : readers_) {
+    ends.emplace_back(reader->tag(), reader->committed_floor());
+  }
+  return ends;
+}
+
+std::vector<std::string> TaskRuntime::DownstreamMarkerTags() const {
+  std::vector<std::string> tags;
+  for (const OutputSpec& out : wiring_.stage->outputs) {
+    const StreamSpec& stream = wiring_.plan->streams.at(out.stream);
+    for (uint32_t sub = 0; sub < stream.num_substreams; ++sub) {
+      tags.push_back(DataTag(out.stream, sub));
+    }
+  }
+  tags.push_back(TaskLogTag(task_id_));
+  if (capture_changes_) {
+    tags.push_back(ChangeLogTag(task_id_));
+  }
+  return tags;
+}
+
+void TaskRuntime::PublishGcFloors() {
+  if (wiring_.gc == nullptr) {
+    return;
+  }
+  for (const auto& reader : readers_) {
+    Lsn floor = reader->committed_floor();
+    wiring_.gc->PublishFloor(task_id_ + "/in/" + reader->tag(),
+                             floor == kInvalidLsn ? 0 : floor + 1);
+  }
+}
+
+// --- Recovery ---
+
+Status TaskRuntime::Recover() {
+  TimeNs t0 = wiring_.clock->Now();
+
+  for (const auto& factory : wiring_.stage->operators) {
+    operators_.push_back(factory());
+  }
+  collectors_.reserve(operators_.size());
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (i + 1 < operators_.size()) {
+      collectors_.push_back(std::make_unique<ChainCollector>(this, i + 1));
+    } else {
+      collectors_.push_back(std::make_unique<StageCollector>(this));
+    }
+  }
+
+  // One reader per assigned substream of each input stream: task i owns
+  // every substream s with s % num_tasks == i, so a stage over-partitioned
+  // with WithSubstreams can later rescale without repartitioning upstream.
+  for (size_t i = 0; i < wiring_.stage->inputs.size(); ++i) {
+    const std::string& stream_name = wiring_.stage->inputs[i];
+    const StreamSpec& stream = wiring_.plan->streams.at(stream_name);
+    for (uint32_t sub = wiring_.index; sub < stream.num_substreams;
+         sub += wiring_.stage->num_tasks) {
+      readers_.push_back(std::make_unique<SubstreamReader>(
+          wiring_.log, DataTag(stream_name, sub), static_cast<uint32_t>(i),
+          &tracker_, /*start_lsn=*/0));
+      input_external_.push_back(stream.external);
+      if (stream.external) {
+        expected_barriers_.push_back(1);  // the coordinator's barrier
+      } else {
+        expected_barriers_.push_back(static_cast<uint32_t>(
+            wiring_.plan->ProducersOf(stream_name).size()));
+      }
+    }
+  }
+  output_is_egress_.reserve(wiring_.stage->outputs.size());
+  for (const OutputSpec& out : wiring_.stage->outputs) {
+    output_is_egress_.push_back(
+        wiring_.plan->streams.at(out.stream).egress);
+  }
+  reader_hooks_.on_barrier = nullptr;  // barriers handled via pending queue
+
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    operators_[i]->Open(this);
+  }
+
+  Status st = OkStatus();
+  switch (wiring_.config.protocol) {
+    case ProtocolKind::kProgressMarking:
+    case ProtocolKind::kKafkaTxn:
+      st = RecoverFromMarker();
+      break;
+    case ProtocolKind::kAlignedCheckpoint:
+      st = RecoverAligned();
+      break;
+    case ProtocolKind::kUnsafe:
+      break;  // no progress tracking: start from the beginning
+  }
+  if (!st.ok()) {
+    return st;
+  }
+
+  // Rescale handoff: the manager collected every substream's consumed end
+  // from the previous generation's final markers (substream ownership may
+  // have moved between tasks, so our own task log is not authoritative).
+  if (!wiring_.initial_input_ends.empty()) {
+    for (auto& reader : readers_) {
+      auto it = wiring_.initial_input_ends.find(reader->tag());
+      if (it != wiring_.initial_input_ends.end() &&
+          it->second != kInvalidLsn) {
+        reader->Restore(it->second + 1, it->second);
+      }
+    }
+  }
+
+  if (wiring_.gc != nullptr && capture_changes_ &&
+      !wiring_.config.enable_checkpointing) {
+    // Without checkpointing the entire change log must survive.
+    wiring_.gc->PublishFloor(task_id_ + "/clog", 0);
+  }
+  last_input_ends_ = CurrentInputEnds();
+  PublishGcFloors();
+  recovery_stats_.duration = wiring_.clock->Now() - t0;
+  return OkStatus();
+}
+
+Status TaskRuntime::RecoverFromMarker() {
+  auto last = wiring_.log->ReadLast(TaskLogTag(task_id_));
+  if (!last.ok()) {
+    if (last.status().code() == StatusCode::kNotFound) {
+      return OkStatus();  // fresh start
+    }
+    return last.status();
+  }
+  auto env = DecodeEnvelope(last->payload);
+  if (!env.ok()) {
+    return env.status();
+  }
+  auto cut = ExtractCut(*env, last->lsn, task_id_);
+  if (!cut.ok()) {
+    return cut.status();
+  }
+  if (!cut->has_value()) {
+    return InternalError("task-log tail is not a commit cut");
+  }
+  const CutInfo& info = **cut;
+  recovery_stats_.performed = true;
+  marker_seq_ = info.marker_seq + 1;
+
+  for (auto& reader : readers_) {
+    for (const auto& [tag, end] : info.input_ends) {
+      if (tag == reader->tag()) {
+        if (end != kInvalidLsn) {
+          reader->Restore(end + 1, end);
+        }
+        break;
+      }
+    }
+  }
+
+  if (!capture_changes_) {
+    return OkStatus();
+  }
+
+  // Restore from the latest checkpoint, then replay the remaining change
+  // log up to the marker (paper §3.3.4 / §3.5).
+  Lsn replay_from = 0;
+  auto meta_raw = wiring_.checkpoint_store->Get(CheckpointMetaKey(task_id_));
+  if (meta_raw.ok()) {
+    auto meta = DecodeCheckpointMeta(*meta_raw);
+    if (meta.ok() && meta->cut_lsn != kInvalidLsn &&
+        meta->cut_lsn <= info.lsn) {
+      auto blob = wiring_.checkpoint_store->Get(CheckpointBlobKey(task_id_));
+      if (blob.ok()) {
+        auto sections = DecodeSnapshot(*blob);
+        if (!sections.ok()) {
+          return sections.status();
+        }
+        for (const auto& [name, data] : *sections) {
+          constexpr std::string_view kStorePrefix = "store/";
+          if (name.rfind(kStorePrefix, 0) == 0) {
+            IMPELLER_RETURN_IF_ERROR(
+                GetStore(name.substr(kStorePrefix.size()))
+                    ->RestoreSnapshot(data));
+          }
+        }
+        replay_from = meta->next_replay_lsn;
+        recovery_stats_.used_checkpoint = true;
+      }
+    }
+  }
+  if (replay_from <= info.lsn) {
+    auto stats = ReplayChangelog(
+        wiring_.log, task_id_, replay_from, info.lsn, info.txn_id,
+        [this](const ChangeLogBody& change) {
+          GetStore(change.store)->ApplyChange(change);
+        });
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    recovery_stats_.changelog_entries_read = stats->entries_read;
+    recovery_stats_.changes_applied = stats->changes_applied;
+  }
+  return OkStatus();
+}
+
+Status TaskRuntime::RecoverAligned() {
+  auto id = BarrierCoordinator::ReadCompletedId(wiring_.checkpoint_store,
+                                                wiring_.plan->name);
+  if (!id.ok()) {
+    return OkStatus();  // no completed checkpoint: fresh start
+  }
+  auto blob =
+      wiring_.checkpoint_store->Get(AlignedSnapshotKey(task_id_, *id));
+  if (!blob.ok()) {
+    return OkStatus();  // this task never participated in that checkpoint
+  }
+  auto sections = DecodeSnapshot(*blob);
+  if (!sections.ok()) {
+    return sections.status();
+  }
+  for (const auto& [name, data] : *sections) {
+    constexpr std::string_view kStorePrefix = "store/";
+    if (name.rfind(kStorePrefix, 0) == 0) {
+      IMPELLER_RETURN_IF_ERROR(
+          GetStore(name.substr(kStorePrefix.size()))->RestoreSnapshot(data));
+    } else if (name == "seqmap") {
+      IMPELLER_RETURN_IF_ERROR(tracker_.RestoreSeqMap(data));
+    } else if (name == "outseq") {
+      BinaryReader r(data);
+      auto seq = r.ReadVarU64();
+      if (!seq.ok()) {
+        return seq.status();
+      }
+      out_seq_ = *seq;
+    } else if (name == "cursors") {
+      BinaryReader r(data);
+      auto n = r.ReadVarU64();
+      if (!n.ok()) {
+        return n.status();
+      }
+      for (uint64_t i = 0; i < *n; ++i) {
+        auto tag = r.ReadString();
+        auto lsn = r.ReadVarU64();
+        if (!tag.ok() || !lsn.ok()) {
+          return DataLossError("corrupt cursor section");
+        }
+        for (auto& reader : readers_) {
+          if (reader->tag() == *tag) {
+            reader->Restore(*lsn, *lsn == 0 ? kInvalidLsn : *lsn - 1);
+          }
+        }
+      }
+    }
+  }
+  last_completed_ckpt_ = *id;
+  recovery_stats_.performed = true;
+  recovery_stats_.used_checkpoint = true;
+  return OkStatus();
+}
+
+// --- Input path ---
+
+Result<size_t> TaskRuntime::PollInputs() {
+  size_t total = 0;
+  for (size_t slot = 0; slot < readers_.size(); ++slot) {
+    // Only a crash aborts mid-poll: a graceful stop still drains (the
+    // shutdown path relies on polling remaining committed input).
+    if (Crashed()) {
+      break;
+    }
+    SubstreamReader& reader = *readers_[slot];
+    ready_scratch_.clear();
+    pending_barriers_.clear();
+    if (wiring_.config.protocol == ProtocolKind::kAlignedCheckpoint) {
+      reader_hooks_.on_barrier = [this, slot](uint32_t,
+                                              const RecordHeader& h,
+                                              const BarrierBody& b, Lsn lsn) {
+        pending_barriers_.push_back(
+            {ready_scratch_.size(), slot, h.producer, b.checkpoint_id, lsn});
+      };
+    }
+    auto n = reader.Poll(wiring_.config.max_records_per_poll,
+                         &ready_scratch_, reader_hooks_);
+    if (!n.ok()) {
+      return n.status();
+    }
+    total += *n;
+    // Interleave barrier application with record processing in the order
+    // they appeared on the substream.
+    size_t barrier_idx = 0;
+    for (size_t i = 0; i < ready_scratch_.size(); ++i) {
+      while (barrier_idx < pending_barriers_.size() &&
+             pending_barriers_[barrier_idx].position <= i) {
+        const PendingBarrier& pb = pending_barriers_[barrier_idx++];
+        OnBarrier(pb.slot, pb.producer, pb.checkpoint_id, pb.lsn);
+      }
+      ProcessReady(slot, std::move(ready_scratch_[i]));
+    }
+    while (barrier_idx < pending_barriers_.size()) {
+      const PendingBarrier& pb = pending_barriers_[barrier_idx++];
+      OnBarrier(pb.slot, pb.producer, pb.checkpoint_id, pb.lsn);
+    }
+  }
+  return total;
+}
+
+void TaskRuntime::ProcessReady(size_t slot, ReadyRecord record) {
+  if (align_ckpt_id_ != 0 && IsBlocked(slot, record.header.producer)) {
+    sidelined_.emplace_back(slot, std::move(record));
+    return;
+  }
+  StreamRecord rec;
+  rec.key = std::move(record.data.key);
+  rec.value = std::move(record.data.value);
+  rec.event_time = record.data.event_time;
+  max_event_time_ = std::max(max_event_time_, rec.event_time);
+  records_processed_.fetch_add(1, std::memory_order_relaxed);
+  epoch_dirty_ = true;
+  RunRecord(record.input, std::move(rec));
+}
+
+void TaskRuntime::RunRecord(uint32_t input, StreamRecord record) {
+  operators_[0]->Process(input, std::move(record), collectors_[0].get());
+}
+
+void TaskRuntime::RunTimers(TimeNs now) {
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    operators_[i]->OnTimer(now, collectors_[i].get());
+  }
+}
+
+// --- Output / commit path ---
+
+Status TaskRuntime::ApplyFlushResult(const OutputBuffer::FlushResult& result) {
+  if (result.first_output != kInvalidLsn &&
+      epoch_first_output_ == kInvalidLsn) {
+    epoch_first_output_ = result.first_output;
+  }
+  if (result.first_changelog != kInvalidLsn &&
+      epoch_first_changelog_ == kInvalidLsn) {
+    epoch_first_changelog_ = result.first_changelog;
+  }
+  return OkStatus();
+}
+
+Status TaskRuntime::MaybeFlush(bool force) {
+  if (output_buffer_.empty()) {
+    return OkStatus();
+  }
+  if (!force && !output_buffer_.NeedsFlush()) {
+    return OkStatus();
+  }
+  if (wiring_.config.protocol == ProtocolKind::kKafkaTxn &&
+      txn_inflight_.valid()) {
+    if (txn_inflight_.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      // Phase two still in flight: outputs must stay buffered (§3.6). Only
+      // a full buffer forces a stall.
+      if (output_buffer_.pending_bytes() <
+          wiring_.config.txn_inflight_buffer_bytes) {
+        return OkStatus();
+      }
+      txn_inflight_.wait();
+    }
+    Status st = txn_inflight_.get();
+    txn_inflight_ = {};
+    IMPELLER_RETURN_IF_ERROR(st);
+  }
+  auto result = output_buffer_.Flush();
+  if (!result.ok()) {
+    return result.status();
+  }
+  return ApplyFlushResult(*result);
+}
+
+Status TaskRuntime::Commit() {
+  switch (wiring_.config.protocol) {
+    case ProtocolKind::kProgressMarking:
+      return CommitProgressMarking();
+    case ProtocolKind::kKafkaTxn:
+      return CommitKafkaTxn();
+    case ProtocolKind::kAlignedCheckpoint:
+    case ProtocolKind::kUnsafe:
+      // Aligned checkpoints are barrier-driven; unsafe never commits. Flush
+      // so outputs keep flowing.
+      return MaybeFlush(true);
+  }
+  return OkStatus();
+}
+
+Status TaskRuntime::CommitProgressMarking() {
+  auto ends = CurrentInputEnds();
+  if (!epoch_dirty_ && ends == last_input_ends_ && output_buffer_.empty()) {
+    return OkStatus();  // idle epoch: nothing to commit
+  }
+  IMPELLER_RETURN_IF_ERROR(MaybeFlush(true));
+
+  ProgressMarker marker;
+  marker.marker_seq = marker_seq_;
+  marker.input_ends = ends;
+  marker.outputs_from = epoch_first_output_;
+  marker.changelog_from = epoch_first_changelog_;
+
+  RecordHeader header;
+  header.type = RecordType::kProgressMarker;
+  header.producer = task_id_;
+  header.instance = wiring_.instance;
+  header.seq = ++out_seq_;
+
+  AppendRequest req;
+  req.tags = DownstreamMarkerTags();
+  req.cond_key = InstanceMetaKey(task_id_);
+  req.cond_value = wiring_.instance;
+  req.payload = EncodeEnvelope(header, EncodeProgressMarker(marker));
+
+  auto lsn = wiring_.log->Append(std::move(req));
+  if (!lsn.ok()) {
+    return lsn.status();  // kFenced: this instance is a zombie
+  }
+  markers_written_.fetch_add(1);
+  ++marker_seq_;
+  last_input_ends_ = std::move(ends);
+  epoch_first_output_ = kInvalidLsn;
+  epoch_first_changelog_ = kInvalidLsn;
+  epoch_dirty_ = false;
+  epoch_touched_tags_.clear();
+  if (wiring_.gc != nullptr) {
+    wiring_.gc->PublishFloor(task_id_ + "/marker", *lsn);
+  }
+  PublishGcFloors();
+  return OkStatus();
+}
+
+Status TaskRuntime::CommitKafkaTxn() {
+  if (wiring_.txn_coordinator == nullptr) {
+    return InternalError("kafka-txn protocol without a coordinator");
+  }
+  // A new transaction may need to wait for the in-progress one (§3.6).
+  if (txn_inflight_.valid()) {
+    txn_inflight_.wait();
+    Status st = txn_inflight_.get();
+    txn_inflight_ = {};
+    IMPELLER_RETURN_IF_ERROR(st);
+  }
+  auto ends = CurrentInputEnds();
+  if (!epoch_dirty_ && ends == last_input_ends_ && output_buffer_.empty()) {
+    return OkStatus();
+  }
+  IMPELLER_RETURN_IF_ERROR(MaybeFlush(true));
+
+  TxnRequest req;
+  req.task_id = task_id_;
+  req.instance = wiring_.instance;
+  req.output_tags.assign(epoch_touched_tags_.begin(),
+                         epoch_touched_tags_.end());
+  req.task_log_tag = TaskLogTag(task_id_);
+  req.input_ends = ends;
+  req.changelog_from = epoch_first_changelog_;
+
+  auto future = wiring_.txn_coordinator->CommitTransaction(std::move(req));
+  if (!future.ok()) {
+    return future.status();  // kFenced: superseded instance
+  }
+  txn_inflight_ = *future;
+  markers_written_.fetch_add(1);
+  last_input_ends_ = std::move(ends);
+  epoch_first_output_ = kInvalidLsn;
+  epoch_first_changelog_ = kInvalidLsn;
+  epoch_dirty_ = false;
+  epoch_touched_tags_.clear();
+  PublishGcFloors();
+  return OkStatus();
+}
+
+// --- Aligned checkpointing ---
+
+bool TaskRuntime::IsBlocked(size_t slot,
+                            const std::string& producer) const {
+  return blocked_channels_.count({slot, "*"}) != 0 ||
+         blocked_channels_.count({slot, producer}) != 0;
+}
+
+void TaskRuntime::OnBarrier(size_t slot, const std::string& producer,
+                            uint64_t checkpoint_id, Lsn lsn) {
+  if (wiring_.config.protocol != ProtocolKind::kAlignedCheckpoint) {
+    return;
+  }
+  if (checkpoint_id <= last_completed_ckpt_) {
+    return;  // stale barrier from before our recovery point
+  }
+  if (align_ckpt_id_ != 0 && checkpoint_id != align_ckpt_id_) {
+    // The coordinator abandoned the previous round; unblock and restart.
+    LOG_WARN << task_id_ << ": abandoning checkpoint " << align_ckpt_id_
+             << " for " << checkpoint_id;
+    blocked_channels_.clear();
+    auto pending = std::move(sidelined_);
+    sidelined_.clear();
+    align_ckpt_id_ = 0;
+    for (auto& [pslot, record] : pending) {
+      ProcessReady(pslot, std::move(record));
+    }
+  }
+  if (align_ckpt_id_ == 0) {
+    align_ckpt_id_ = checkpoint_id;
+    barriers_arrived_.assign(readers_.size(), 0);
+    align_cursor_snapshot_.assign(readers_.size(), kInvalidLsn);
+  }
+  if (align_cursor_snapshot_[slot] == kInvalidLsn) {
+    align_cursor_snapshot_[slot] = lsn + 1;
+  }
+  blocked_channels_.insert(
+      {slot, input_external_[slot] ? std::string("*") : producer});
+  barriers_arrived_[slot]++;
+
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    if (barriers_arrived_[i] < expected_barriers_[i]) {
+      return;
+    }
+  }
+  Status st = CompleteAlignment();
+  if (!st.ok()) {
+    LOG_WARN << task_id_ << ": checkpoint " << align_ckpt_id_
+             << " failed: " << st.ToString();
+  }
+}
+
+Status TaskRuntime::CompleteAlignment() {
+  uint64_t id = align_ckpt_id_;
+  IMPELLER_RETURN_IF_ERROR(MaybeFlush(true));
+
+  // Synchronous snapshot to the checkpoint store: state stores, the dedup
+  // sequence map, input cursors, and the output sequence counter (so
+  // re-executed outputs are byte-identical and deduplicable downstream).
+  std::map<std::string, std::string> sections;
+  for (const auto& [name, store] : stores_) {
+    sections["store/" + name] = store->SerializeSnapshot();
+  }
+  sections["seqmap"] = tracker_.SerializeSeqMap();
+  {
+    BinaryWriter w;
+    w.WriteVarU64(out_seq_);
+    sections["outseq"] = w.Take();
+  }
+  {
+    BinaryWriter w;
+    w.WriteVarU64(readers_.size());
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      w.WriteString(readers_[i]->tag());
+      Lsn cur = align_cursor_snapshot_[i] != kInvalidLsn
+                    ? align_cursor_snapshot_[i]
+                    : readers_[i]->next_lsn();
+      w.WriteVarU64(cur);
+    }
+    sections["cursors"] = w.Take();
+  }
+  IMPELLER_RETURN_IF_ERROR(wiring_.checkpoint_store->Put(
+      AlignedSnapshotKey(task_id_, id), EncodeSnapshot(sections)));
+
+  // Forward the barrier to every downstream substream (not egress: nothing
+  // aligns there).
+  std::vector<AppendRequest> batch;
+  for (size_t out_idx = 0; out_idx < wiring_.stage->outputs.size();
+       ++out_idx) {
+    if (output_is_egress_[out_idx]) {
+      continue;
+    }
+    const OutputSpec& out = wiring_.stage->outputs[out_idx];
+    const StreamSpec& stream = wiring_.plan->streams.at(out.stream);
+    for (uint32_t sub = 0; sub < stream.num_substreams; ++sub) {
+      BarrierBody body;
+      body.checkpoint_id = id;
+      RecordHeader header;
+      header.type = RecordType::kBarrier;
+      header.producer = task_id_;
+      header.instance = wiring_.instance;
+      // Control records must not consume the data sequence counter:
+      // re-executed data records after recovery would otherwise get shifted
+      // seqs and be wrongly deduplicated downstream.
+      header.seq = 0;
+      AppendRequest req;
+      req.tags.push_back(DataTag(out.stream, sub));
+      req.payload = EncodeEnvelope(header, EncodeBarrierBody(body));
+      batch.push_back(std::move(req));
+    }
+  }
+  if (!batch.empty()) {
+    auto lsns = wiring_.log->AppendBatch(std::move(batch));
+    if (!lsns.ok()) {
+      return lsns.status();
+    }
+  }
+  if (wiring_.barrier_coordinator != nullptr) {
+    wiring_.barrier_coordinator->AckCheckpoint(task_id_, id);
+  }
+  if (wiring_.gc != nullptr) {
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      if (align_cursor_snapshot_[i] != kInvalidLsn) {
+        wiring_.gc->PublishFloor(task_id_ + "/in/" + readers_[i]->tag(),
+                                 align_cursor_snapshot_[i]);
+      }
+    }
+  }
+  last_completed_ckpt_ = id;
+  align_ckpt_id_ = 0;
+  blocked_channels_.clear();
+  auto pending = std::move(sidelined_);
+  sidelined_.clear();
+  for (auto& [slot, record] : pending) {
+    ProcessReady(slot, std::move(record));
+  }
+  return OkStatus();
+}
+
+// --- Main loop ---
+
+void TaskRuntime::Run() {
+  heartbeat_.store(wiring_.clock->Now());
+  Status st = Recover();
+  started_.store(true);
+  if (!st.ok()) {
+    LOG_ERROR << task_id_ << ": recovery failed: " << st.ToString();
+    std::lock_guard<std::mutex> lock(status_mu_);
+    final_status_ = st;
+    finished_.store(true);
+    return;
+  }
+
+  const EngineConfig& cfg = wiring_.config;
+  TimeNs now = wiring_.clock->Now();
+  TimeNs next_commit = now + cfg.commit_interval;
+  TimeNs next_timer = now + cfg.timer_interval;
+  TimeNs next_flush = now + cfg.output_flush_interval;
+  Status run_status = OkStatus();
+
+  while (!ShouldExit()) {
+    heartbeat_.store(wiring_.clock->Now(), std::memory_order_relaxed);
+    auto polled = PollInputs();
+    if (!polled.ok()) {
+      run_status = polled.status();
+      break;
+    }
+    now = wiring_.clock->Now();
+    if (now >= next_timer) {
+      RunTimers(now);
+      next_timer = now + cfg.timer_interval;
+    }
+    bool force_flush = now >= next_flush;
+    if (force_flush) {
+      next_flush = now + cfg.output_flush_interval;
+    }
+    run_status = MaybeFlush(force_flush);
+    if (!run_status.ok()) {
+      break;
+    }
+    now = wiring_.clock->Now();
+    if (now >= next_commit) {
+      run_status = Commit();
+      if (!run_status.ok()) {
+        break;
+      }
+      next_commit = wiring_.clock->Now() + cfg.commit_interval;
+    }
+    if (*polled == 0) {
+      wiring_.clock->SleepFor(cfg.poll_interval);
+    }
+  }
+
+  if (!Crashed() && run_status.ok()) {
+    // Graceful stop: drain remaining committed input (the task manager stops
+    // stages in topological order, so upstream cuts are already final),
+    // then flush and commit a final cut of our own.
+    const DurationNs quiet = std::max<DurationNs>(
+        2 * cfg.poll_interval, 20 * kMillisecond);
+    TimeNs drain_deadline = wiring_.clock->Now() + 3 * kSecond;
+    TimeNs quiet_until = wiring_.clock->Now() + quiet;
+    while (!Crashed() && wiring_.clock->Now() < drain_deadline &&
+           wiring_.clock->Now() < quiet_until) {
+      auto polled = PollInputs();
+      if (!polled.ok()) {
+        run_status = polled.status();
+        break;
+      }
+      if (*polled > 0) {
+        quiet_until = wiring_.clock->Now() + quiet;
+      } else {
+        wiring_.clock->SleepFor(cfg.poll_interval);
+      }
+    }
+    Status flush = MaybeFlush(true);
+    if (flush.ok()) {
+      flush = Commit();
+    }
+    if (flush.ok() && txn_inflight_.valid()) {
+      txn_inflight_.wait();
+      flush = txn_inflight_.get();
+      txn_inflight_ = {};
+    }
+    if (!flush.ok() && run_status.ok()) {
+      run_status = flush;
+    }
+  }
+
+  if (Crashed() && run_status.ok()) {
+    run_status = UnavailableError("task crashed (simulated server failure)");
+  }
+  if (!run_status.ok() && run_status.code() != StatusCode::kFenced &&
+      !Crashed()) {
+    LOG_WARN << task_id_ << " exited: " << run_status.ToString();
+  }
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    final_status_ = run_status;
+  }
+  finished_.store(true);
+}
+
+}  // namespace impeller

@@ -1,0 +1,218 @@
+// TaskRuntime: one unit of execution (paper Table 1). A task runs a stage's
+// operator chain over its input substreams, writes outputs and change-log
+// records through a batched output buffer, and periodically commits its
+// progress with whichever exactly-once protocol the engine is configured
+// for:
+//   * progress marking (Impeller, §3.3) — one multi-tag conditional append;
+//   * Kafka Streams transactions (§3.6) — coordinator two-phase commit;
+//   * aligned checkpointing (§5.1) — barrier alignment + synchronous
+//     snapshots to the checkpoint store;
+//   * unsafe — no progress tracking (§5.3.4).
+//
+// On startup the task recovers to the cut of its most recent progress
+// marker (restoring state from the latest checkpoint plus a change-log
+// replay, §3.3.4) and resumes reading each input substream just past the
+// marker's recorded input end.
+#ifndef IMPELLER_SRC_CORE_TASK_RUNTIME_H_
+#define IMPELLER_SRC_CORE_TASK_RUNTIME_H_
+
+#include <atomic>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/core/commit_tracker.h"
+#include "src/core/config.h"
+#include "src/core/gc.h"
+#include "src/core/metrics.h"
+#include "src/core/operator.h"
+#include "src/core/output_buffer.h"
+#include "src/core/query.h"
+#include "src/core/substream_reader.h"
+#include "src/kvstore/kv_store.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace impeller {
+
+class TxnCoordinator;
+class BarrierCoordinator;
+
+struct TaskWiring {
+  const QueryPlan* plan = nullptr;
+  const StageSpec* stage = nullptr;
+  uint32_t index = 0;
+  uint64_t instance = 1;
+  SharedLog* log = nullptr;
+  KvStore* checkpoint_store = nullptr;
+  EngineConfig config;
+  MetricsRegistry* metrics = nullptr;
+  Clock* clock = nullptr;
+  TxnCoordinator* txn_coordinator = nullptr;          // kKafkaTxn only
+  BarrierCoordinator* barrier_coordinator = nullptr;  // kAligned only
+  GcRegistry* gc = nullptr;                           // optional
+  // Rescale handoff: input-substream ends (tag -> last consumed LSN)
+  // gathered from the previous generation's final markers; overrides the
+  // marker-derived cursors of this task's own log during recovery.
+  std::map<std::string, Lsn> initial_input_ends;
+};
+
+struct RecoveryStats {
+  bool performed = false;
+  bool used_checkpoint = false;
+  DurationNs duration = 0;
+  uint64_t changelog_entries_read = 0;
+  uint64_t changes_applied = 0;
+};
+
+class TaskRuntime final : public OperatorContext {
+ public:
+  explicit TaskRuntime(TaskWiring wiring);
+  ~TaskRuntime() override;
+
+  // Thread body; returns when stopped, crashed, or fenced.
+  void Run();
+
+  // Graceful stop: final flush + commit, then exit.
+  void RequestStop() { stop_.store(true); }
+
+  // Simulated server failure: the loop exits at the next iteration without
+  // flushing anything; in-memory state is abandoned.
+  void Crash() { crashed_.store(true); }
+
+  uint64_t instance() const { return wiring_.instance; }
+  bool started() const { return started_.load(); }
+  bool finished() const { return finished_.load(); }
+  TimeNs last_heartbeat() const { return heartbeat_.load(); }
+  Status final_status() const;
+  RecoveryStats recovery_stats() const { return recovery_stats_; }
+  uint64_t records_processed() const { return records_processed_.load(); }
+  uint64_t markers_written() const { return markers_written_.load(); }
+
+  // --- OperatorContext ---
+  MapStateStore* GetStore(std::string_view name) override;
+  Clock* clock() override { return wiring_.clock; }
+  const std::string& task_id() const override { return task_id_; }
+  uint32_t task_index() const override { return wiring_.index; }
+  MetricsRegistry* metrics() override { return wiring_.metrics; }
+  TimeNs max_event_time() const override { return max_event_time_; }
+
+ private:
+  class StageCollector;
+  class ChainCollector;
+
+  bool ShouldExit() const {
+    return stop_.load(std::memory_order_relaxed) ||
+           crashed_.load(std::memory_order_relaxed);
+  }
+  bool Crashed() const { return crashed_.load(std::memory_order_relaxed); }
+
+  Status Recover();
+  Status RecoverFromMarker();
+  Status RecoverAligned();
+
+  // Reads from every input substream; returns entries consumed.
+  Result<size_t> PollInputs();
+  // `slot` indexes readers_ (one per assigned substream); the record's own
+  // `input` field is the stage input-stream index operators see.
+  void ProcessReady(size_t slot, ReadyRecord record);
+  void RunRecord(uint32_t input, StreamRecord record);
+
+  // Stage-output routing: called by the terminal collector.
+  void EmitOutput(uint32_t output, StreamRecord record);
+  void OnStateChange(const ChangeLogBody& change);
+
+  Status MaybeFlush(bool force);
+  Status ApplyFlushResult(const OutputBuffer::FlushResult& result);
+
+  Status Commit();
+  Status CommitProgressMarking();
+  Status CommitKafkaTxn();
+
+  // Aligned-checkpoint plumbing. Barriers are queued during a poll and
+  // applied interleaved with record processing in substream order; channels
+  // are keyed by reader slot.
+  void OnBarrier(size_t slot, const std::string& producer,
+                 uint64_t checkpoint_id, Lsn lsn);
+  Status CompleteAlignment();
+  bool IsBlocked(size_t slot, const std::string& producer) const;
+
+  void RunTimers(TimeNs now);
+  void PublishGcFloors();
+
+  std::vector<std::pair<std::string, Lsn>> CurrentInputEnds() const;
+  std::vector<std::string> DownstreamMarkerTags() const;
+
+  TaskWiring wiring_;
+  std::string task_id_;
+  bool uses_markers_ = false;     // progress marking or kafka txn
+  bool capture_changes_ = false;  // changelog enabled
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<TimeNs> heartbeat_{0};
+  std::atomic<uint64_t> records_processed_{0};
+  std::atomic<uint64_t> markers_written_{0};
+
+  mutable std::mutex status_mu_;
+  Status final_status_;
+  RecoveryStats recovery_stats_;
+
+  // Operator chain + per-position collectors.
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+
+  // State stores (owned; operators hold raw pointers).
+  std::map<std::string, std::unique_ptr<MapStateStore>> stores_;
+
+  CommitTracker tracker_;
+  std::vector<std::unique_ptr<SubstreamReader>> readers_;
+  std::vector<bool> input_external_;
+  std::vector<uint32_t> expected_barriers_;
+  SubstreamReader::Hooks reader_hooks_;
+  std::vector<ReadyRecord> ready_scratch_;
+  struct PendingBarrier {
+    size_t position;  // index into ready_scratch_ the barrier precedes
+    size_t slot;      // reader that observed it
+    std::string producer;
+    uint64_t checkpoint_id;
+    Lsn lsn;
+  };
+  std::vector<PendingBarrier> pending_barriers_;
+
+  OutputBuffer output_buffer_;
+  uint64_t out_seq_ = 0;
+  uint64_t marker_seq_ = 1;
+  TimeNs max_event_time_ = 0;
+
+  // Epoch bookkeeping for markers / transactions.
+  Lsn epoch_first_output_ = kInvalidLsn;
+  Lsn epoch_first_changelog_ = kInvalidLsn;
+  bool epoch_dirty_ = false;
+  std::set<std::string> epoch_touched_tags_;
+  std::vector<std::pair<std::string, Lsn>> last_input_ends_;
+
+  // Kafka txn: at most one commit in flight.
+  std::shared_future<Status> txn_inflight_;
+
+  // Aligned checkpointing.
+  uint64_t last_completed_ckpt_ = 0;
+  uint64_t align_ckpt_id_ = 0;  // 0 = no alignment in progress
+  std::vector<uint32_t> barriers_arrived_;
+  std::vector<Lsn> align_cursor_snapshot_;
+  std::set<std::pair<size_t, std::string>> blocked_channels_;
+  std::deque<std::pair<size_t, ReadyRecord>> sidelined_;
+
+  // Sink-to-egress routing (identity partition by task index).
+  std::vector<bool> output_is_egress_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_TASK_RUNTIME_H_

@@ -1,0 +1,25 @@
+#include "src/core/window.h"
+
+#include <cassert>
+
+namespace impeller {
+
+TimeNs WindowSpec::LatestStartFor(TimeNs t) const {
+  assert(slide > 0);
+  TimeNs start = t - (t % slide);
+  if (start > t) {  // negative timestamps round toward zero
+    start -= slide;
+  }
+  return start;
+}
+
+void WindowSpec::AssignWindows(TimeNs t, std::vector<TimeNs>* starts) const {
+  starts->clear();
+  TimeNs last_start = LatestStartFor(t);
+  // Every window with start in (t - size, last_start] contains t.
+  for (TimeNs start = last_start; start > t - size; start -= slide) {
+    starts->push_back(start);
+  }
+}
+
+}  // namespace impeller

@@ -1,0 +1,35 @@
+// Window semantics (paper §2.1, §3.5 "Supporting window semantics"):
+// tumbling and sliding windows over event time. Window metadata lives in
+// record payloads / state-store keys, orthogonal to the fault-tolerance
+// design, exactly as the paper argues.
+#ifndef IMPELLER_SRC_CORE_WINDOW_H_
+#define IMPELLER_SRC_CORE_WINDOW_H_
+
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace impeller {
+
+struct WindowSpec {
+  DurationNs size = 0;
+  DurationNs slide = 0;  // == size for tumbling windows
+
+  static WindowSpec Tumbling(DurationNs size) { return {size, size}; }
+  static WindowSpec Sliding(DurationNs size, DurationNs slide) {
+    return {size, slide};
+  }
+
+  bool IsTumbling() const { return slide == size; }
+
+  // Start timestamps of every window containing `t` (windows are
+  // [start, start + size), starts aligned to multiples of slide).
+  void AssignWindows(TimeNs t, std::vector<TimeNs>* starts) const;
+
+  // Start of the latest window with start <= t.
+  TimeNs LatestStartFor(TimeNs t) const;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_CORE_WINDOW_H_

@@ -1,0 +1,210 @@
+#include "src/kvstore/kv_store.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+
+namespace impeller {
+
+namespace {
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpDelete = 2;
+}  // namespace
+
+KvStore::KvStore(KvStoreOptions options) : options_(std::move(options)) {
+  if (options_.clock == nullptr) {
+    options_.clock = MonotonicClock::Get();
+  }
+  clock_ = options_.clock;
+  if (options_.latency == nullptr) {
+    options_.latency = std::make_shared<ZeroLatencyModel>();
+  }
+  if (!options_.wal_path.empty()) {
+    wal_ = std::fopen(options_.wal_path.c_str(), "ab+");
+    if (wal_ == nullptr) {
+      LOG_ERROR << "cannot open WAL " << options_.wal_path << ": "
+                << std::strerror(errno);
+    }
+  }
+}
+
+KvStore::~KvStore() {
+  if (wal_ != nullptr) {
+    std::fclose(wal_);
+  }
+}
+
+Status KvStore::Recover() {
+  if (options_.wal_path.empty()) {
+    return OkStatus();
+  }
+  std::FILE* f = std::fopen(options_.wal_path.c_str(), "rb");
+  if (f == nullptr) {
+    return OkStatus();  // nothing to recover
+  }
+  std::string content;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.clear();
+  size_t pos = 0;
+  while (pos + 4 <= content.size()) {
+    uint32_t len = 0;
+    std::memcpy(&len, content.data() + pos, 4);
+    if (pos + 4 + len + 8 > content.size()) {
+      break;  // torn tail record: ignore, matching WAL semantics
+    }
+    std::string_view body(content.data() + pos + 4, len);
+    uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, content.data() + pos + 4 + len, 8);
+    if (Fnv1a(body) != stored_sum) {
+      LOG_WARN << "WAL checksum mismatch at byte " << pos << "; truncating";
+      break;
+    }
+    BinaryReader reader(body);
+    bool ok = true;
+    while (!reader.AtEnd() && ok) {
+      auto op = reader.ReadU8();
+      auto key = reader.ReadString();
+      if (!op.ok() || !key.ok()) {
+        ok = false;
+        break;
+      }
+      if (*op == kOpPut) {
+        auto value = reader.ReadString();
+        if (!value.ok()) {
+          ok = false;
+          break;
+        }
+        data_[*key] = *value;
+      } else if (*op == kOpDelete) {
+        data_.erase(*key);
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      return DataLossError("corrupt WAL record");
+    }
+    pos += 4 + len + 8;
+  }
+  return OkStatus();
+}
+
+Status KvStore::AppendWal(const std::vector<KvWriteOp>& ops) {
+  if (wal_ == nullptr) {
+    return OkStatus();
+  }
+  BinaryWriter writer;
+  for (const auto& op : ops) {
+    if (op.value.has_value()) {
+      writer.WriteU8(kOpPut);
+      writer.WriteString(op.key);
+      writer.WriteString(*op.value);
+    } else {
+      writer.WriteU8(kOpDelete);
+      writer.WriteString(op.key);
+    }
+  }
+  const std::string& body = writer.data();
+  uint32_t len = static_cast<uint32_t>(body.size());
+  uint64_t sum = Fnv1a(body);
+  if (std::fwrite(&len, 4, 1, wal_) != 1 ||
+      std::fwrite(body.data(), 1, body.size(), wal_) != body.size() ||
+      std::fwrite(&sum, 8, 1, wal_) != 1) {
+    return InternalError("WAL write failed");
+  }
+  std::fflush(wal_);
+  if (options_.fsync_writes) {
+    ::fsync(fileno(wal_));
+  }
+  bytes_written_ += 12 + body.size();
+  return OkStatus();
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value) {
+  std::vector<KvWriteOp> ops;
+  ops.push_back({std::string(key), std::string(value)});
+  return WriteBatch(std::move(ops));
+}
+
+Status KvStore::Delete(std::string_view key) {
+  std::vector<KvWriteOp> ops;
+  ops.push_back({std::string(key), std::nullopt});
+  return WriteBatch(std::move(ops));
+}
+
+Status KvStore::WriteBatch(std::vector<KvWriteOp> ops) {
+  if (ops.empty()) {
+    return OkStatus();
+  }
+  size_t bytes = 0;
+  for (const auto& op : ops) {
+    bytes += op.key.size() + (op.value ? op.value->size() : 0);
+  }
+  LatencySample latency = options_.latency->SampleAppend(bytes, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IMPELLER_RETURN_IF_ERROR(AppendWal(ops));
+    for (auto& op : ops) {
+      if (op.value.has_value()) {
+        data_[std::move(op.key)] = std::move(*op.value);
+      } else {
+        data_.erase(op.key);
+      }
+    }
+  }
+  // Synchronous remote write: the caller waits for durability.
+  clock_->SleepFor(latency.ack + latency.delivery);
+  return OkStatus();
+}
+
+Result<std::string> KvStore::Get(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(std::string(key));
+  if (it == data_.end()) {
+    return NotFoundError("no key " + std::string(key));
+  }
+  return it->second;
+}
+
+bool KvStore::Contains(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.count(std::string(key)) != 0;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = data_.lower_bound(std::string(prefix)); it != data_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+size_t KvStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+uint64_t KvStore::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+}  // namespace impeller

@@ -1,0 +1,130 @@
+#include "src/nexmark/driver.h"
+
+#include "src/common/logging.h"
+
+namespace impeller {
+
+NexmarkDriver::NexmarkDriver(Engine* engine, NexmarkDriverOptions options)
+    : engine_(engine),
+      options_(options),
+      generator_(options.generator, options.seed, engine->clock()),
+      limiter_(options.events_per_sec, engine->clock(),
+               /*max_burst=*/static_cast<int64_t>(
+                   std::max(64.0, options.events_per_sec / 20.0))) {}
+
+Result<std::unique_ptr<NexmarkDriver>> NexmarkDriver::Create(
+    Engine* engine, int query_number, NexmarkDriverOptions options) {
+  std::unique_ptr<NexmarkDriver> driver(
+      new NexmarkDriver(engine, options));
+  for (const std::string& stream : NexmarkIngressStreams(query_number)) {
+    auto producer = engine->NewProducer("gen/" + stream, stream);
+    if (!producer.ok()) {
+      return producer.status();
+    }
+    driver->producers_[stream] = std::move(*producer);
+  }
+  if (driver->producers_.empty()) {
+    return InvalidArgumentError("query has no ingress streams");
+  }
+  return driver;
+}
+
+NexmarkDriver::~NexmarkDriver() { Stop(); }
+
+void NexmarkDriver::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void NexmarkDriver::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  thread_.Join();
+}
+
+void NexmarkDriver::RunFor(DurationNs duration) {
+  Start();
+  engine_->clock()->SleepFor(duration);
+  Stop();
+}
+
+void NexmarkDriver::Dispatch(const NexmarkGenerator::Event& event) {
+  switch (event.kind) {
+    case NexmarkGenerator::Kind::kPerson: {
+      auto it = producers_.find("persons");
+      if (it != producers_.end()) {
+        it->second->Send(std::to_string(event.person.id),
+                         EncodePerson(event.person), event.event_time);
+        sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    case NexmarkGenerator::Kind::kAuction: {
+      auto it = producers_.find("auctions");
+      if (it != producers_.end()) {
+        it->second->Send(std::to_string(event.auction.id),
+                         EncodeAuction(event.auction), event.event_time);
+        sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    case NexmarkGenerator::Kind::kBid: {
+      auto it = producers_.find("bids");
+      if (it != producers_.end()) {
+        it->second->Send(std::to_string(event.bid.auction),
+                         EncodeBid(event.bid), event.event_time);
+        sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+Status NexmarkDriver::FlushAll() {
+  for (auto& [stream, producer] : producers_) {
+    auto flushed = producer->Flush();
+    if (!flushed.ok()) {
+      return flushed.status();
+    }
+  }
+  return OkStatus();
+}
+
+void NexmarkDriver::Loop() {
+  Clock* clock = engine_->clock();
+  TimeNs next_flush = clock->Now() + options_.flush_interval;
+  while (running_.load(std::memory_order_relaxed)) {
+    // Generate up to the permitted budget, then flush on the batch cadence.
+    int64_t budget = limiter_.AvailableNow();
+    if (budget <= 0) {
+      limiter_.Acquire(1);
+      Dispatch(generator_.Next());
+    } else {
+      limiter_.Acquire(budget);
+      for (int64_t i = 0; i < budget; ++i) {
+        Dispatch(generator_.Next());
+      }
+    }
+    TimeNs now = clock->Now();
+    if (now >= next_flush) {
+      Status st = FlushAll();
+      if (!st.ok()) {
+        LOG_ERROR << "ingress flush failed: " << st.ToString();
+        return;
+      }
+      next_flush = now + options_.flush_interval;
+    } else {
+      clock->SleepFor(
+          std::min<DurationNs>(next_flush - now, 2 * kMillisecond));
+    }
+  }
+  Status st = FlushAll();
+  if (!st.ok()) {
+    LOG_WARN << "final ingress flush failed: " << st.ToString();
+  }
+}
+
+}  // namespace impeller

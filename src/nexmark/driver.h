@@ -1,0 +1,64 @@
+// NexmarkDriver: the input-generation side of the evaluation (paper §5.3).
+// A generator thread produces the person/auction/bid mix at a target rate
+// and pushes events through IngressProducers, flushing batches on the
+// paper's cadence (10 ms for Q1-2 style workloads, 100 ms otherwise).
+#ifndef IMPELLER_SRC_NEXMARK_DRIVER_H_
+#define IMPELLER_SRC_NEXMARK_DRIVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/rate_limiter.h"
+#include "src/common/threading.h"
+#include "src/core/engine.h"
+#include "src/nexmark/generator.h"
+#include "src/nexmark/queries.h"
+
+namespace impeller {
+
+struct NexmarkDriverOptions {
+  double events_per_sec = 10000;
+  DurationNs flush_interval = 10 * kMillisecond;
+  uint64_t seed = 1;
+  NexmarkConfig generator;
+};
+
+class NexmarkDriver {
+ public:
+  // Creates producers for the query's ingress streams on `engine` (which
+  // must have the query submitted already).
+  static Result<std::unique_ptr<NexmarkDriver>> Create(
+      Engine* engine, int query_number, NexmarkDriverOptions options);
+
+  ~NexmarkDriver();
+
+  void Start();
+  void Stop();
+
+  // Blocking convenience: generate for `duration`, then stop.
+  void RunFor(DurationNs duration);
+
+  uint64_t events_sent() const { return sent_.load(); }
+
+ private:
+  NexmarkDriver(Engine* engine, NexmarkDriverOptions options);
+
+  void Loop();
+  void Dispatch(const NexmarkGenerator::Event& event);
+  Status FlushAll();
+
+  Engine* engine_;
+  NexmarkDriverOptions options_;
+  NexmarkGenerator generator_;
+  RateLimiter limiter_;
+  std::map<std::string, std::unique_ptr<IngressProducer>> producers_;
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<bool> running_{false};
+  JoiningThread thread_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_NEXMARK_DRIVER_H_

@@ -1,0 +1,128 @@
+#include "src/nexmark/events.h"
+
+#include "src/common/serde.h"
+
+namespace impeller {
+
+std::string EncodePerson(const Person& p) {
+  BinaryWriter w(kPersonTargetBytes + 16);
+  w.WriteVarU64(p.id);
+  w.WriteString(p.name);
+  w.WriteString(p.email);
+  w.WriteString(p.credit_card);
+  w.WriteString(p.city);
+  w.WriteString(p.state);
+  w.WriteVarI64(p.date_time);
+  w.WriteString(p.extra);
+  return w.Take();
+}
+
+Result<Person> DecodePerson(std::string_view raw) {
+  BinaryReader r(raw);
+  Person p;
+  auto id = r.ReadVarU64();
+  auto name = r.ReadString();
+  auto email = r.ReadString();
+  auto cc = r.ReadString();
+  auto city = r.ReadString();
+  auto state = r.ReadString();
+  auto dt = r.ReadVarI64();
+  auto extra = r.ReadString();
+  if (!id.ok() || !name.ok() || !email.ok() || !cc.ok() || !city.ok() ||
+      !state.ok() || !dt.ok() || !extra.ok()) {
+    return DataLossError("corrupt person event");
+  }
+  p.id = *id;
+  p.name = std::move(*name);
+  p.email = std::move(*email);
+  p.credit_card = std::move(*cc);
+  p.city = std::move(*city);
+  p.state = std::move(*state);
+  p.date_time = *dt;
+  p.extra = std::move(*extra);
+  return p;
+}
+
+std::string EncodeAuction(const Auction& a) {
+  BinaryWriter w(kAuctionTargetBytes + 16);
+  w.WriteVarU64(a.id);
+  w.WriteString(a.item_name);
+  w.WriteString(a.description);
+  w.WriteVarI64(a.initial_bid);
+  w.WriteVarI64(a.reserve);
+  w.WriteVarI64(a.date_time);
+  w.WriteVarI64(a.expires);
+  w.WriteVarU64(a.seller);
+  w.WriteVarU64(a.category);
+  w.WriteString(a.extra);
+  return w.Take();
+}
+
+Result<Auction> DecodeAuction(std::string_view raw) {
+  BinaryReader r(raw);
+  Auction a;
+  auto id = r.ReadVarU64();
+  auto item = r.ReadString();
+  auto desc = r.ReadString();
+  auto initial = r.ReadVarI64();
+  auto reserve = r.ReadVarI64();
+  auto dt = r.ReadVarI64();
+  auto expires = r.ReadVarI64();
+  auto seller = r.ReadVarU64();
+  auto category = r.ReadVarU64();
+  auto extra = r.ReadString();
+  if (!id.ok() || !item.ok() || !desc.ok() || !initial.ok() ||
+      !reserve.ok() || !dt.ok() || !expires.ok() || !seller.ok() ||
+      !category.ok() || !extra.ok()) {
+    return DataLossError("corrupt auction event");
+  }
+  a.id = *id;
+  a.item_name = std::move(*item);
+  a.description = std::move(*desc);
+  a.initial_bid = *initial;
+  a.reserve = *reserve;
+  a.date_time = *dt;
+  a.expires = *expires;
+  a.seller = *seller;
+  a.category = *category;
+  a.extra = std::move(*extra);
+  return a;
+}
+
+std::string EncodeBid(const Bid& b) {
+  BinaryWriter w(kBidTargetBytes + 16);
+  w.WriteVarU64(b.auction);
+  w.WriteVarU64(b.bidder);
+  w.WriteVarI64(b.price);
+  w.WriteString(b.channel);
+  w.WriteString(b.url);
+  w.WriteVarI64(b.date_time);
+  w.WriteString(b.extra);
+  return w.Take();
+}
+
+Result<Bid> DecodeBid(std::string_view raw) {
+  BinaryReader r(raw);
+  Bid b;
+  auto auction = r.ReadVarU64();
+  auto bidder = r.ReadVarU64();
+  auto price = r.ReadVarI64();
+  auto channel = r.ReadString();
+  auto url = r.ReadString();
+  auto dt = r.ReadVarI64();
+  auto extra = r.ReadString();
+  if (!auction.ok() || !bidder.ok() || !price.ok() || !channel.ok() ||
+      !url.ok() || !dt.ok() || !extra.ok()) {
+    return DataLossError("corrupt bid event");
+  }
+  b.auction = *auction;
+  b.bidder = *bidder;
+  b.price = *price;
+  b.channel = std::move(*channel);
+  b.url = std::move(*url);
+  b.date_time = *dt;
+  b.extra = std::move(*extra);
+  return b;
+}
+
+}  // namespace impeller

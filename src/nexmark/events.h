@@ -1,0 +1,66 @@
+// NEXMark event model (paper §5.3): an online auction site emitting a
+// high-volume stream of new persons, new auctions, and bids. Average encoded
+// sizes follow the paper — bids ~100 bytes, auctions ~500 bytes, persons
+// ~200 bytes — via sized `extra` padding, and the stream mix is 92% bids,
+// 6% auctions, 2% persons.
+#ifndef IMPELLER_SRC_NEXMARK_EVENTS_H_
+#define IMPELLER_SRC_NEXMARK_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace impeller {
+
+struct Person {
+  uint64_t id = 0;
+  std::string name;
+  std::string email;
+  std::string credit_card;
+  std::string city;
+  std::string state;
+  TimeNs date_time = 0;
+  std::string extra;
+};
+
+struct Auction {
+  uint64_t id = 0;
+  std::string item_name;
+  std::string description;
+  int64_t initial_bid = 0;
+  int64_t reserve = 0;
+  TimeNs date_time = 0;
+  TimeNs expires = 0;
+  uint64_t seller = 0;
+  uint64_t category = 0;
+  std::string extra;
+};
+
+struct Bid {
+  uint64_t auction = 0;
+  uint64_t bidder = 0;
+  int64_t price = 0;  // cents
+  std::string channel;
+  std::string url;
+  TimeNs date_time = 0;
+  std::string extra;
+};
+
+std::string EncodePerson(const Person& p);
+Result<Person> DecodePerson(std::string_view raw);
+std::string EncodeAuction(const Auction& a);
+Result<Auction> DecodeAuction(std::string_view raw);
+std::string EncodeBid(const Bid& b);
+Result<Bid> DecodeBid(std::string_view raw);
+
+// Paper §5.3: "The average size for bid, auction and new user events are
+// 100, 500 and 200 bytes respectively."
+constexpr size_t kBidTargetBytes = 100;
+constexpr size_t kAuctionTargetBytes = 500;
+constexpr size_t kPersonTargetBytes = 200;
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_NEXMARK_EVENTS_H_

@@ -1,0 +1,117 @@
+#include "src/nexmark/generator.h"
+
+namespace impeller {
+
+namespace {
+
+const char* const kFirstNames[] = {"Peter", "Paul",  "Luke",  "John",
+                                   "Saul",  "Vicky", "Kate",  "Julie",
+                                   "Sarah", "Deiter", "Walter"};
+const char* const kLastNames[] = {"Shultz", "Abrams", "Spencer", "White",
+                                  "Bartels", "Walton", "Smith",  "Jones",
+                                  "Noris"};
+const char* const kCities[] = {"Phoenix", "Palo Alto", "San Mateo",
+                               "Boise",   "Portland",  "Bend",
+                               "Redmond", "Seattle",   "Kent"};
+const char* const kStates[] = {"AZ", "CA", "ID", "OR", "WA"};
+const char* const kChannels[] = {"Google", "Facebook", "Baidu", "Apple"};
+const char* const kItems[] = {"wkx mgee", "pmb vjla", "cgreen",   "avocado",
+                              "tofu",     "figurine", "harpsichord"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&arr)[N]) {
+  return arr[rng.NextBounded(N)];
+}
+
+}  // namespace
+
+NexmarkGenerator::NexmarkGenerator(NexmarkConfig config, uint64_t seed,
+                                   Clock* clock)
+    : config_(config),
+      rng_(seed),
+      auction_zipf_(config.num_in_flight_auctions,
+                    config.auction_zipf_exponent),
+      clock_(clock),
+      event_id_(config.first_event_id) {}
+
+std::string NexmarkGenerator::Padding(size_t current, size_t target) {
+  if (current >= target) {
+    return std::string();
+  }
+  // ±20% jitter around the target so sizes are averages, not constants.
+  size_t pad = target - current;
+  int64_t jitter = rng_.NextRange(-static_cast<int64_t>(pad) / 5,
+                                  static_cast<int64_t>(pad) / 5);
+  return std::string(static_cast<size_t>(
+                         std::max<int64_t>(0, static_cast<int64_t>(pad) +
+                                                  jitter)),
+                     'x');
+}
+
+uint64_t NexmarkGenerator::NextPersonId() { return next_person_id_++; }
+uint64_t NexmarkGenerator::NextAuctionId() { return next_auction_id_++; }
+
+uint64_t NexmarkGenerator::RandomAuctionId() {
+  // Bids reference one of the most recently opened auctions, with zipf
+  // popularity (rank 0 = hottest = most recent).
+  uint64_t rank = auction_zipf_.Next(rng_);
+  uint64_t newest = next_auction_id_ == 0 ? 0 : next_auction_id_ - 1;
+  return rank >= newest ? 1000 : newest - rank;
+}
+
+uint64_t NexmarkGenerator::RandomPersonId() {
+  uint64_t newest = next_person_id_ == 0 ? 0 : next_person_id_ - 1;
+  uint64_t span = std::min<uint64_t>(config_.num_active_people, newest + 1);
+  return newest - rng_.NextBounded(span);
+}
+
+NexmarkGenerator::Event NexmarkGenerator::Next() {
+  uint64_t id = event_id_++;
+  uint32_t slot = static_cast<uint32_t>(id % 50);
+  TimeNs now = clock_->Now();
+
+  Event event;
+  event.event_time = now;
+  if (slot < config_.person_slots) {
+    event.kind = Kind::kPerson;
+    Person& p = event.person;
+    p.id = NextPersonId();
+    p.name = std::string(Pick(rng_, kFirstNames)) + " " +
+             Pick(rng_, kLastNames);
+    p.email = p.name + "@example.com";
+    p.credit_card = std::to_string(1000000000000000ull + rng_.NextU64() % 9000000000000000ull);
+    p.city = Pick(rng_, kCities);
+    p.state = Pick(rng_, kStates);
+    p.date_time = now;
+    size_t base = EncodePerson(p).size();
+    p.extra = Padding(base, kPersonTargetBytes);
+  } else if (slot < config_.person_slots + config_.auction_slots) {
+    event.kind = Kind::kAuction;
+    Auction& a = event.auction;
+    a.id = NextAuctionId();
+    a.item_name = Pick(rng_, kItems);
+    a.description = "auction item description placeholder";
+    a.initial_bid = rng_.NextRange(100, 1000);
+    a.reserve = a.initial_bid + rng_.NextRange(100, 2000);
+    a.date_time = now;
+    a.expires = now + config_.auction_duration;
+    a.seller = RandomPersonId();
+    a.category = 10 + rng_.NextBounded(config_.num_categories);
+    size_t base = EncodeAuction(a).size();
+    a.extra = Padding(base, kAuctionTargetBytes);
+  } else {
+    event.kind = Kind::kBid;
+    Bid& b = event.bid;
+    b.auction = RandomAuctionId();
+    b.bidder = RandomPersonId();
+    b.price = rng_.NextRange(100, 100000);
+    b.channel = Pick(rng_, kChannels);
+    b.url = "https://auction.example.com/item/" + std::to_string(b.auction);
+    b.date_time = now;
+    size_t base = EncodeBid(b).size();
+    b.extra = Padding(base, kBidTargetBytes);
+  }
+  return event;
+}
+
+}  // namespace impeller

@@ -1,0 +1,68 @@
+// NEXMark event generator, following the structure of Apache Flink's
+// reference implementation (paper §5.3): a deterministic event-id sequence
+// rotates through 1 person : 3 auctions : 46 bids per 50 events (= 2% / 6% /
+// 92%); bids target recently opened auctions with skewed (hot-key)
+// popularity; events carry their generation time as event time.
+#ifndef IMPELLER_SRC_NEXMARK_GENERATOR_H_
+#define IMPELLER_SRC_NEXMARK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/nexmark/events.h"
+
+namespace impeller {
+
+struct NexmarkConfig {
+  uint64_t first_event_id = 0;
+  uint64_t num_categories = 5;
+  // Active-auction window bids draw from.
+  uint64_t num_in_flight_auctions = 100;
+  // Hot-key skew for bid->auction popularity (paper uses NEXMark's default
+  // skewed key popularity).
+  double auction_zipf_exponent = 0.9;
+  uint64_t num_active_people = 1000;
+  DurationNs auction_duration = 10 * kSecond;
+  // Per 50 events: 1 person, 3 auctions, 46 bids.
+  uint32_t person_slots = 1;
+  uint32_t auction_slots = 3;
+};
+
+class NexmarkGenerator {
+ public:
+  enum class Kind { kPerson, kAuction, kBid };
+
+  struct Event {
+    Kind kind = Kind::kBid;
+    Person person;
+    Auction auction;
+    Bid bid;
+    TimeNs event_time = 0;
+  };
+
+  NexmarkGenerator(NexmarkConfig config, uint64_t seed, Clock* clock);
+
+  Event Next();
+
+  uint64_t events_generated() const { return event_id_; }
+
+ private:
+  uint64_t NextPersonId();
+  uint64_t NextAuctionId();
+  uint64_t RandomAuctionId();
+  uint64_t RandomPersonId();
+  std::string Padding(size_t current, size_t target);
+
+  NexmarkConfig config_;
+  Rng rng_;
+  ZipfGenerator auction_zipf_;
+  Clock* clock_;
+  uint64_t event_id_;
+  uint64_t next_person_id_ = 1000;
+  uint64_t next_auction_id_ = 1000;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_NEXMARK_GENERATOR_H_

@@ -1,0 +1,50 @@
+// NEXMark queries Q1-Q8 built on Impeller's public query API, with the
+// operator mix of the paper's Table 3. Window durations default to the
+// paper's where practical and are configurable for scaled-down runs.
+#ifndef IMPELLER_SRC_NEXMARK_QUERIES_H_
+#define IMPELLER_SRC_NEXMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/query.h"
+
+namespace impeller {
+
+struct NexmarkQueryOptions {
+  uint32_t tasks_per_stage = 2;
+  // Q5: auctions with the most bids over `q5_window`, updated every
+  // `q5_slide` (paper: 10 s / 2 s).
+  DurationNs q5_window = 10 * kSecond;
+  DurationNs q5_slide = 2 * kSecond;
+  // Q7: highest bid per tumbling window (paper: 1 minute; scaled down by
+  // default so benchmark points finish in seconds).
+  DurationNs q7_window = 10 * kSecond;
+  // Q8: persons joined with their new auctions within this window (paper:
+  // 10 s).
+  DurationNs q8_window = 10 * kSecond;
+  // Q4/Q6: bid-auction stream-stream join window.
+  DurationNs join_window = 10 * kSecond;
+  DurationNs allowed_lateness = 100 * kMillisecond;
+};
+
+// Builds the plan for NEXMark query `number` (1-8).
+Result<QueryPlan> BuildNexmarkQuery(int number,
+                                    const NexmarkQueryOptions& options = {});
+
+// Ingress streams the query consumes (subset of {"bids", "auctions",
+// "persons"}).
+std::vector<std::string> NexmarkIngressStreams(int number);
+
+// The sink metric name ("q<N>"): latency histogram "lat/q<N>", output
+// counter "out/q<N>".
+std::string NexmarkSinkName(int number);
+
+// Name of the final (sinking) stage of the query.
+std::string NexmarkSinkStage(int number);
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_NEXMARK_QUERIES_H_

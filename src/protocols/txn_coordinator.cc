@@ -1,0 +1,167 @@
+#include "src/protocols/txn_coordinator.h"
+
+#include "src/common/logging.h"
+#include "src/core/record.h"
+#include "src/core/stream.h"
+
+namespace impeller {
+
+TxnCoordinator::TxnCoordinator(SharedLog* log, Clock* clock,
+                               TxnCoordinatorOptions options)
+    : log_(log),
+      clock_(clock),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  txn_stream_tag_ = "x/" + options_.name;
+}
+
+TxnCoordinator::~TxnCoordinator() { Stop(); }
+
+void TxnCoordinator::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  worker_ = JoiningThread([this] { WorkerLoop(); });
+}
+
+void TxnCoordinator::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  phase2_.Close();
+  worker_.Join();
+}
+
+void TxnCoordinator::SleepRpc() {
+  DurationNs d;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    d = static_cast<DurationNs>(rng_.NextLogNormal(
+        static_cast<double>(options_.rpc_median), options_.rpc_sigma));
+  }
+  clock_->SleepFor(d);
+}
+
+Status TxnCoordinator::AppendTxnStream(TxnControlKind kind, uint64_t txn_id,
+                                       const std::string& task_id,
+                                       uint64_t instance) {
+  TxnControlBody body;
+  body.kind = kind;
+  body.txn_id = txn_id;
+  RecordHeader header;
+  header.type = RecordType::kTxnControl;
+  header.producer = task_id;
+  header.instance = instance;
+  header.seq = coord_seq_.fetch_add(1) + 1;
+  AppendRequest req;
+  req.tags.push_back(txn_stream_tag_);
+  req.payload = EncodeEnvelope(header, EncodeTxnControlBody(body));
+  auto lsn = log_->Append(std::move(req));
+  if (!lsn.ok()) {
+    return lsn.status();
+  }
+  return OkStatus();
+}
+
+Result<std::shared_future<Status>> TxnCoordinator::CommitTransaction(
+    TxnRequest request) {
+  if (!running_.load()) {
+    return UnavailableError("coordinator stopped");
+  }
+  uint64_t txn_id = next_txn_id_.fetch_add(1);
+
+  // Fencing: a superseded instance must not start a transaction (Kafka's
+  // producer-epoch fencing).
+  auto current = log_->MetaGet(InstanceMetaKey(request.task_id));
+  if (current.ok() && *current != request.instance) {
+    return FencedError("instance " + std::to_string(request.instance) +
+                       " superseded by " + std::to_string(*current));
+  }
+
+  // Phase one, step 1: register written streams with the coordinator.
+  SleepRpc();  // task -> coordinator
+  IMPELLER_RETURN_IF_ERROR(AppendTxnStream(TxnControlKind::kRegistration,
+                                           txn_id, request.task_id,
+                                           request.instance));
+  SleepRpc();  // coordinator -> task
+
+  // Phase one, step 2: ask the coordinator to commit; it appends the
+  // pre-commit record before replying.
+  SleepRpc();  // task -> coordinator
+  IMPELLER_RETURN_IF_ERROR(AppendTxnStream(TxnControlKind::kPreCommit, txn_id,
+                                           request.task_id,
+                                           request.instance));
+
+  auto pending = std::make_unique<PendingTxn>();
+  pending->request = std::move(request);
+  pending->txn_id = txn_id;
+  std::shared_future<Status> done = pending->done.get_future().share();
+  if (!phase2_.Push(std::move(pending))) {
+    return UnavailableError("coordinator stopped");
+  }
+  SleepRpc();  // coordinator -> task (pre-commit response)
+  return done;
+}
+
+void TxnCoordinator::WorkerLoop() {
+  while (true) {
+    auto item = phase2_.Pop();
+    if (!item.has_value()) {
+      return;  // closed and drained
+    }
+    PendingTxn& txn = **item;
+    const TxnRequest& req = txn.request;
+
+    // Phase two: one commit control record per registered substream. The
+    // commit record on the task-log substream carries the input ends used
+    // for recovery.
+    std::vector<AppendRequest> batch;
+    for (const std::string& tag : req.output_tags) {
+      TxnControlBody body;
+      body.kind = TxnControlKind::kCommit;
+      body.txn_id = txn.txn_id;
+      RecordHeader header;
+      header.type = RecordType::kTxnControl;
+      header.producer = req.task_id;
+      header.instance = req.instance;
+      header.seq = coord_seq_.fetch_add(1) + 1;
+      AppendRequest append;
+      append.tags.push_back(tag);
+      append.cond_key = InstanceMetaKey(req.task_id);
+      append.cond_value = req.instance;
+      append.payload = EncodeEnvelope(header, EncodeTxnControlBody(body));
+      batch.push_back(std::move(append));
+    }
+    {
+      TxnControlBody body;
+      body.kind = TxnControlKind::kCommit;
+      body.txn_id = txn.txn_id;
+      body.input_ends = req.input_ends;
+      body.changelog_from = req.changelog_from;
+      RecordHeader header;
+      header.type = RecordType::kTxnControl;
+      header.producer = req.task_id;
+      header.instance = req.instance;
+      header.seq = coord_seq_.fetch_add(1) + 1;
+      AppendRequest append;
+      append.tags.push_back(req.task_log_tag);
+      append.cond_key = InstanceMetaKey(req.task_id);
+      append.cond_value = req.instance;
+      append.payload = EncodeEnvelope(header, EncodeTxnControlBody(body));
+      batch.push_back(std::move(append));
+    }
+    auto lsns = log_->AppendBatch(std::move(batch));
+    if (!lsns.ok()) {
+      LOG_WARN << "txn " << txn.txn_id << " phase 2 failed: "
+               << lsns.status().ToString();
+      txn.done.set_value(lsns.status());
+      continue;
+    }
+    Status final = AppendTxnStream(TxnControlKind::kTxnCommitted, txn.txn_id,
+                                   req.task_id, req.instance);
+    committed_.fetch_add(1);
+    txn.done.set_value(final);
+  }
+}
+
+}  // namespace impeller

@@ -1,0 +1,104 @@
+// The Kafka Streams transaction protocol re-implemented over the shared log,
+// mirroring paper §3.6 and the in-Impeller baseline of §5.1.
+//
+// Phase one (synchronous, on the calling task's thread): the task registers
+// the substreams it wrote this transaction — the coordinator appends a
+// registration record to its transaction stream — then requests commit; the
+// coordinator appends a pre-commit record and replies. Each interaction pays
+// a modeled RPC latency plus a real log append.
+//
+// Phase two (asynchronous, coordinator worker thread): the coordinator
+// appends a commit control record to every registered substream (committing
+// the task's records below that control record's LSN for downstream
+// consumers), then a transaction-committed record to its transaction
+// stream, and finally resolves the future handed back to the task. A task
+// cannot start committing transaction N+1 before N's future resolves.
+#ifndef IMPELLER_SRC_PROTOCOLS_TXN_COORDINATOR_H_
+#define IMPELLER_SRC_PROTOCOLS_TXN_COORDINATOR_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/queue.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/threading.h"
+#include "src/core/marker.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace impeller {
+
+struct TxnCoordinatorOptions {
+  std::string name = "txn-coord";
+  // One-way RPC latency between a task and the coordinator (gRPC over the
+  // cluster network in the paper's setup).
+  DurationNs rpc_median = 300 * kMicrosecond;
+  double rpc_sigma = 0.3;
+  uint64_t seed = 42;
+};
+
+struct TxnRequest {
+  std::string task_id;
+  uint64_t instance = 0;
+  // Substreams written during this transaction (output substream tags and
+  // the change-log tag).
+  std::vector<std::string> output_tags;
+  // The task's LSN-stream (its task-log tag): receives a commit record
+  // carrying the input ends for recovery.
+  std::string task_log_tag;
+  std::vector<std::pair<std::string, Lsn>> input_ends;
+  Lsn changelog_from = kInvalidLsn;
+};
+
+class TxnCoordinator {
+ public:
+  TxnCoordinator(SharedLog* log, Clock* clock,
+                 TxnCoordinatorOptions options = {});
+  ~TxnCoordinator();
+
+  void Start();
+  void Stop();
+
+  // Runs phase one synchronously; returns a future resolved when phase two
+  // commits the transaction. kFenced when the instance was superseded.
+  Result<std::shared_future<Status>> CommitTransaction(TxnRequest request);
+
+  const std::string& txn_stream_tag() const { return txn_stream_tag_; }
+  uint64_t committed_txns() const { return committed_.load(); }
+
+ private:
+  struct PendingTxn {
+    TxnRequest request;
+    uint64_t txn_id;
+    std::promise<Status> done;
+  };
+
+  void SleepRpc();
+  void WorkerLoop();
+  Status AppendTxnStream(TxnControlKind kind, uint64_t txn_id,
+                         const std::string& task_id, uint64_t instance);
+
+  SharedLog* log_;
+  Clock* clock_;
+  TxnCoordinatorOptions options_;
+  std::string txn_stream_tag_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> coord_seq_{0};
+  BlockingQueue<std::unique_ptr<PendingTxn>> phase2_;
+  JoiningThread worker_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_PROTOCOLS_TXN_COORDINATOR_H_

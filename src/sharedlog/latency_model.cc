@@ -1,0 +1,63 @@
+#include "src/sharedlog/latency_model.h"
+
+#include <algorithm>
+
+namespace impeller {
+
+CalibratedLatencyModel::CalibratedLatencyModel(CalibratedLatencyParams params,
+                                               uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+LatencySample CalibratedLatencyModel::SampleAppend(size_t batch_bytes,
+                                                   DurationNs idle_gap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double ack = rng_.NextLogNormal(
+      static_cast<double>(params_.ack_median), params_.ack_sigma);
+  double delivery = rng_.NextLogNormal(
+      static_cast<double>(params_.delivery_median), params_.delivery_sigma);
+  ack += params_.per_byte_ns * static_cast<double>(batch_bytes);
+  if (params_.idle_threshold > 0 && idle_gap > params_.idle_threshold) {
+    double staleness = std::min(
+        1.0, static_cast<double>(idle_gap - params_.idle_threshold) /
+                 static_cast<double>(4 * params_.idle_threshold));
+    ack += staleness * rng_.NextLogNormal(
+                           static_cast<double>(params_.idle_median),
+                           params_.idle_sigma);
+  }
+  LatencySample s;
+  s.ack = static_cast<DurationNs>(ack * params_.scale);
+  s.delivery = static_cast<DurationNs>(delivery * params_.scale);
+  return s;
+}
+
+CalibratedLatencyParams CalibratedLatencyModel::BokiParams() {
+  CalibratedLatencyParams p;
+  // Target (Table 2, 16 KiB record): p50 ~2.55-2.71 ms, p99 ~3.6-3.8 ms,
+  // nearly flat across 10-100 appends/s with a slight drop at high rates.
+  p.ack_median = static_cast<DurationNs>(1.80 * kMillisecond);
+  p.ack_sigma = 0.16;
+  p.delivery_median = static_cast<DurationNs>(0.62 * kMillisecond);
+  p.delivery_sigma = 0.20;
+  p.per_byte_ns = 2.0;  // ~0.03 ms for a 16 KiB record
+  p.idle_threshold = 15 * kMillisecond;
+  p.idle_median = static_cast<DurationNs>(0.15 * kMillisecond);
+  p.idle_sigma = 0.25;
+  return p;
+}
+
+CalibratedLatencyParams CalibratedLatencyModel::KafkaParams() {
+  CalibratedLatencyParams p;
+  // Target (Table 2): p50 1.45 ms at 100 aps rising to ~2.1 ms at 10 aps;
+  // p99 2.9 ms at 100 aps rising to ~4.4 ms at 10 aps (heavy idle tail).
+  p.ack_median = static_cast<DurationNs>(0.95 * kMillisecond);
+  p.ack_sigma = 0.22;
+  p.delivery_median = static_cast<DurationNs>(0.44 * kMillisecond);
+  p.delivery_sigma = 0.20;
+  p.per_byte_ns = 2.0;
+  p.idle_threshold = 12 * kMillisecond;
+  p.idle_median = static_cast<DurationNs>(0.70 * kMillisecond);
+  p.idle_sigma = 0.50;
+  return p;
+}
+
+}  // namespace impeller

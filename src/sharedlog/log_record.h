@@ -1,0 +1,42 @@
+// Log record and append-request types for the shared log (Boki-style).
+// A record carries an LSN assigned by the log, a set of string tags used for
+// selective reads, and an opaque payload. Conditional appends are fenced on
+// the log's key-value configuration metadata (used for zombie fencing,
+// paper §3.4).
+#ifndef IMPELLER_SRC_SHAREDLOG_LOG_RECORD_H_
+#define IMPELLER_SRC_SHAREDLOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace impeller {
+
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = std::numeric_limits<Lsn>::max();
+
+struct AppendRequest {
+  std::vector<std::string> tags;
+  std::string payload;
+
+  // Conditional append: succeeds only while the log's metadata entry
+  // `cond_key` equals `cond_value` (empty key = unconditional). The check is
+  // atomic with LSN assignment, which is what makes fencing airtight.
+  std::string cond_key;
+  uint64_t cond_value = 0;
+};
+
+struct LogEntry {
+  Lsn lsn = kInvalidLsn;
+  std::vector<std::string> tags;
+  std::string payload;
+  TimeNs append_time = 0;   // when the producer issued the append
+  TimeNs visible_time = 0;  // when readers can first observe it
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_SHAREDLOG_LOG_RECORD_H_

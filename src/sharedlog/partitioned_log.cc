@@ -1,0 +1,172 @@
+#include "src/sharedlog/partitioned_log.h"
+
+namespace impeller {
+
+PartitionedLog::PartitionedLog(PartitionedLogOptions options)
+    : options_(std::move(options)) {
+  if (options_.clock == nullptr) {
+    options_.clock = MonotonicClock::Get();
+  }
+  clock_ = options_.clock;
+  if (options_.latency == nullptr) {
+    options_.latency = std::make_shared<ZeroLatencyModel>();
+  }
+}
+
+Status PartitionedLog::CreateTopic(std::string_view topic,
+                                   uint32_t partitions) {
+  if (partitions == 0) {
+    return InvalidArgumentError("topic needs at least one partition");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(std::string(topic));
+  if (it != topics_.end()) {
+    if (it->second.size() != partitions) {
+      return AlreadyExistsError("topic exists with different partitioning");
+    }
+    return OkStatus();
+  }
+  topics_[std::string(topic)] = std::vector<Partition>(partitions);
+  return OkStatus();
+}
+
+Result<uint32_t> PartitionedLog::PartitionCount(std::string_view topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(std::string(topic));
+  if (it == topics_.end()) {
+    return NotFoundError("unknown topic " + std::string(topic));
+  }
+  return static_cast<uint32_t>(it->second.size());
+}
+
+PartitionedLog::Partition* PartitionedLog::FindPartitionLocked(
+    std::string_view topic, uint32_t partition) {
+  auto it = topics_.find(std::string(topic));
+  if (it == topics_.end() || partition >= it->second.size()) {
+    return nullptr;
+  }
+  return &it->second[partition];
+}
+
+const PartitionedLog::Partition* PartitionedLog::FindPartitionLocked(
+    std::string_view topic, uint32_t partition) const {
+  auto it = topics_.find(std::string(topic));
+  if (it == topics_.end() || partition >= it->second.size()) {
+    return nullptr;
+  }
+  return &it->second[partition];
+}
+
+Result<Offset> PartitionedLog::Append(std::string_view topic,
+                                      uint32_t partition, std::string key,
+                                      std::string payload) {
+  std::vector<std::pair<std::string, std::string>> batch;
+  batch.emplace_back(std::move(key), std::move(payload));
+  auto offsets = AppendBatch(topic, partition, std::move(batch));
+  if (!offsets.ok()) {
+    return offsets.status();
+  }
+  return (*offsets)[0];
+}
+
+Result<std::vector<Offset>> PartitionedLog::AppendBatch(
+    std::string_view topic, uint32_t partition,
+    std::vector<std::pair<std::string, std::string>> records) {
+  if (records.empty()) {
+    return InvalidArgumentError("empty batch");
+  }
+  TimeNs start = clock_->Now();
+  size_t batch_bytes = 0;
+  for (const auto& [k, v] : records) {
+    batch_bytes += k.size() + v.size();
+  }
+  LatencySample latency;
+  std::vector<Offset> offsets;
+  offsets.reserve(records.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Partition* p = FindPartitionLocked(topic, partition);
+    if (p == nullptr) {
+      return NotFoundError("unknown topic/partition");
+    }
+    DurationNs idle_gap = (p->last_append_time == 0)
+                              ? 0
+                              : start - p->last_append_time;
+    p->last_append_time = start;
+    latency = options_.latency->SampleAppend(batch_bytes, idle_gap);
+    for (auto& [key, payload] : records) {
+      PartitionRecord rec;
+      rec.offset = p->next_offset++;
+      rec.key = std::move(key);
+      rec.payload = std::move(payload);
+      rec.append_time = start;
+      rec.visible_time = start + latency.ack + latency.delivery;
+      offsets.push_back(rec.offset);
+      p->records.push_back(std::move(rec));
+    }
+  }
+  cv_.notify_all();
+  clock_->SleepFor(latency.ack);
+  return offsets;
+}
+
+Result<PartitionRecord> PartitionedLog::Read(std::string_view topic,
+                                             uint32_t partition,
+                                             Offset offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Partition* p = FindPartitionLocked(topic, partition);
+  if (p == nullptr) {
+    return NotFoundError("unknown topic/partition");
+  }
+  if (offset >= p->next_offset) {
+    return NotFoundError("offset beyond partition end");
+  }
+  const PartitionRecord& rec = p->records[offset];
+  if (rec.visible_time > clock_->Now()) {
+    return NotFoundError("record not yet visible");
+  }
+  return rec;
+}
+
+Result<PartitionRecord> PartitionedLog::AwaitRead(std::string_view topic,
+                                                  uint32_t partition,
+                                                  Offset offset,
+                                                  DurationNs timeout) {
+  TimeNs deadline = clock_->Now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    const Partition* p = FindPartitionLocked(topic, partition);
+    if (p == nullptr) {
+      return NotFoundError("unknown topic/partition");
+    }
+    TimeNs now = clock_->Now();
+    if (offset < p->next_offset) {
+      const PartitionRecord& rec = p->records[offset];
+      if (rec.visible_time <= now) {
+        return rec;
+      }
+      if (now >= deadline) {
+        return DeadlineExceededError("AwaitRead timed out");
+      }
+      cv_.wait_for(lock, std::chrono::nanoseconds(
+                             std::min(rec.visible_time, deadline) - now));
+      continue;
+    }
+    if (now >= deadline) {
+      return DeadlineExceededError("AwaitRead timed out");
+    }
+    cv_.wait_for(lock, std::chrono::nanoseconds(deadline - now));
+  }
+}
+
+Result<Offset> PartitionedLog::EndOffset(std::string_view topic,
+                                         uint32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Partition* p = FindPartitionLocked(topic, partition);
+  if (p == nullptr) {
+    return NotFoundError("unknown topic/partition");
+  }
+  return p->next_offset;
+}
+
+}  // namespace impeller

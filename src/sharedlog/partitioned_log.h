@@ -1,0 +1,94 @@
+// A Kafka-like partitioned log: topics split into partitions, each partition
+// an independent, totally ordered log addressed by per-partition offsets.
+// Unlike the shared log there is NO cross-partition total order, NO tag
+// metadata, and NO atomic multi-partition append — which is exactly why
+// Kafka Streams needs the two-phase transaction protocol the paper compares
+// against (§3.6). Appends go through the Kafka-calibrated latency model.
+#ifndef IMPELLER_SRC_SHAREDLOG_PARTITIONED_LOG_H_
+#define IMPELLER_SRC_SHAREDLOG_PARTITIONED_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/sharedlog/latency_model.h"
+
+namespace impeller {
+
+using Offset = uint64_t;
+
+struct PartitionRecord {
+  Offset offset = 0;
+  std::string key;
+  std::string payload;
+  TimeNs append_time = 0;
+  TimeNs visible_time = 0;
+};
+
+struct PartitionedLogOptions {
+  std::shared_ptr<LatencyModel> latency;  // default zero latency
+  Clock* clock = nullptr;                 // default MonotonicClock
+};
+
+class PartitionedLog {
+ public:
+  explicit PartitionedLog(PartitionedLogOptions options = {});
+
+  // Creating an existing topic with a different partition count is an error.
+  Status CreateTopic(std::string_view topic, uint32_t partitions);
+  Result<uint32_t> PartitionCount(std::string_view topic) const;
+
+  // Appends one record; blocks for the modeled ack latency; returns the
+  // assigned offset within (topic, partition).
+  Result<Offset> Append(std::string_view topic, uint32_t partition,
+                        std::string key, std::string payload);
+
+  // Batch append to a single partition with one shared ack latency.
+  Result<std::vector<Offset>> AppendBatch(
+      std::string_view topic, uint32_t partition,
+      std::vector<std::pair<std::string, std::string>> records);
+
+  // Reads the record at `offset` if visible; kNotFound when the partition
+  // has no visible record there yet.
+  Result<PartitionRecord> Read(std::string_view topic, uint32_t partition,
+                               Offset offset);
+
+  // Blocking read with timeout.
+  Result<PartitionRecord> AwaitRead(std::string_view topic,
+                                    uint32_t partition, Offset offset,
+                                    DurationNs timeout);
+
+  // Next offset to be assigned in the partition.
+  Result<Offset> EndOffset(std::string_view topic, uint32_t partition) const;
+
+ private:
+  struct Partition {
+    std::deque<PartitionRecord> records;
+    Offset next_offset = 0;
+    TimeNs last_append_time = 0;
+  };
+
+  // Caller holds mu_.
+  Partition* FindPartitionLocked(std::string_view topic, uint32_t partition);
+  const Partition* FindPartitionLocked(std::string_view topic,
+                                       uint32_t partition) const;
+
+  PartitionedLogOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::vector<Partition>> topics_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_SHAREDLOG_PARTITIONED_LOG_H_

@@ -1,0 +1,276 @@
+#include "src/sharedlog/shared_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace impeller {
+
+SharedLog::SharedLog(SharedLogOptions options)
+    : options_(std::move(options)) {
+  if (options_.clock == nullptr) {
+    options_.clock = MonotonicClock::Get();
+  }
+  clock_ = options_.clock;
+  if (options_.latency == nullptr) {
+    options_.latency = std::make_shared<ZeroLatencyModel>();
+  }
+  last_append_time_ = clock_->Now();
+}
+
+Result<Lsn> SharedLog::Append(AppendRequest req) {
+  std::vector<AppendRequest> batch;
+  batch.push_back(std::move(req));
+  auto lsns = AppendBatchInternal(std::move(batch));
+  if (!lsns.ok()) {
+    return lsns.status();
+  }
+  return (*lsns)[0];
+}
+
+Result<std::vector<Lsn>> SharedLog::AppendBatch(
+    std::vector<AppendRequest> reqs) {
+  if (reqs.empty()) {
+    return InvalidArgumentError("empty append batch");
+  }
+  return AppendBatchInternal(std::move(reqs));
+}
+
+Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
+    std::vector<AppendRequest> reqs) {
+  TimeNs start = clock_->Now();
+  size_t batch_bytes = 0;
+  for (const auto& r : reqs) {
+    batch_bytes += r.payload.size();
+  }
+
+  LatencySample latency;
+  std::vector<Lsn> lsns;
+  lsns.reserve(reqs.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Fencing check is atomic with LSN assignment: a zombie racing with the
+    // task manager's MetaIncrement is linearized here.
+    for (const auto& r : reqs) {
+      if (!r.cond_key.empty()) {
+        auto it = metadata_.find(r.cond_key);
+        uint64_t current = (it == metadata_.end()) ? 0 : it->second;
+        if (current != r.cond_value) {
+          stats_.fenced_appends += reqs.size();
+          return FencedError("conditional append: " + r.cond_key + " is " +
+                             std::to_string(current) + ", expected " +
+                             std::to_string(r.cond_value));
+        }
+      }
+    }
+    DurationNs idle_gap = start - last_append_time_;
+    last_append_time_ = start;
+    latency = options_.latency->SampleAppend(batch_bytes, idle_gap);
+    for (auto& r : reqs) {
+      InternalRecord rec;
+      rec.entry.lsn = next_lsn_++;
+      rec.entry.tags = std::move(r.tags);
+      rec.entry.payload = std::move(r.payload);
+      rec.entry.append_time = start;
+      rec.entry.visible_time = start + latency.ack + latency.delivery;
+      rec.durable_time = start + latency.ack;
+      for (const auto& tag : rec.entry.tags) {
+        tag_index_[tag].push_back(rec.entry.lsn);
+      }
+      lsns.push_back(rec.entry.lsn);
+      records_.push_back(std::move(rec));
+    }
+    stats_.appends += 1;
+    stats_.records += reqs.size();
+    stats_.bytes_appended += batch_bytes;
+  }
+  // Readers blocked in AwaitNext wake up and re-check visibility.
+  cv_.notify_all();
+  // The appender observes the ack latency.
+  clock_->SleepFor(latency.ack);
+  return lsns;
+}
+
+Lsn SharedLog::FindFirstLocked(std::string_view tag, Lsn from) const {
+  auto it = tag_index_.find(std::string(tag));
+  if (it == tag_index_.end()) {
+    return kInvalidLsn;
+  }
+  const std::vector<Lsn>& lsns = it->second;
+  Lsn lower = std::max(from, base_lsn_);
+  auto pos = std::lower_bound(lsns.begin(), lsns.end(), lower);
+  if (pos == lsns.end()) {
+    return kInvalidLsn;
+  }
+  return *pos;
+}
+
+const SharedLog::InternalRecord* SharedLog::SlotLocked(Lsn lsn) const {
+  if (lsn < base_lsn_ || lsn >= next_lsn_) {
+    return nullptr;
+  }
+  return &records_[lsn - base_lsn_];
+}
+
+Result<LogEntry> SharedLog::ReadNext(std::string_view tag, Lsn from_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.reads++;
+  if (auto it = tag_trimmed_high_.find(std::string(tag));
+      it != tag_trimmed_high_.end() && from_lsn <= it->second) {
+    // The cursor provably points at a record of this tag that was garbage
+    // collected; surface that instead of silently skipping data.
+    return TrimmedError("cursor " + std::to_string(from_lsn) +
+                        " at/below trimmed tag record " +
+                        std::to_string(it->second));
+  }
+  Lsn lsn = FindFirstLocked(tag, from_lsn);
+  if (lsn == kInvalidLsn) {
+    return NotFoundError("no record with tag");
+  }
+  const InternalRecord* rec = SlotLocked(lsn);
+  assert(rec != nullptr);
+  if (rec->entry.visible_time > clock_->Now()) {
+    return NotFoundError("next record not yet visible");
+  }
+  return rec->entry;
+}
+
+Result<LogEntry> SharedLog::AwaitNext(std::string_view tag, Lsn from_lsn,
+                                      DurationNs timeout) {
+  TimeNs deadline = clock_->Now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.reads++;
+  while (true) {
+    if (auto it = tag_trimmed_high_.find(std::string(tag));
+        it != tag_trimmed_high_.end() && from_lsn <= it->second) {
+      return TrimmedError("cursor at/below trimmed tag record");
+    }
+    Lsn lsn = FindFirstLocked(tag, from_lsn);
+    TimeNs now = clock_->Now();
+    if (lsn != kInvalidLsn) {
+      const InternalRecord* rec = SlotLocked(lsn);
+      assert(rec != nullptr);
+      if (rec->entry.visible_time <= now) {
+        return rec->entry;
+      }
+      if (now >= deadline) {
+        return DeadlineExceededError("AwaitNext timed out");
+      }
+      DurationNs wait = std::min(rec->entry.visible_time, deadline) - now;
+      cv_.wait_for(lock, std::chrono::nanoseconds(wait));
+      continue;
+    }
+    if (now >= deadline) {
+      return DeadlineExceededError("AwaitNext timed out");
+    }
+    cv_.wait_for(lock, std::chrono::nanoseconds(deadline - now));
+  }
+}
+
+Result<LogEntry> SharedLog::ReadLast(std::string_view tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.reads++;
+  auto it = tag_index_.find(std::string(tag));
+  if (it == tag_index_.end() || it->second.empty()) {
+    return NotFoundError("no record with tag");
+  }
+  TimeNs now = clock_->Now();
+  const std::vector<Lsn>& lsns = it->second;
+  for (auto rit = lsns.rbegin(); rit != lsns.rend(); ++rit) {
+    const InternalRecord* rec = SlotLocked(*rit);
+    if (rec == nullptr) {
+      break;  // remaining entries are below the trim point
+    }
+    if (rec->durable_time <= now) {
+      return rec->entry;
+    }
+  }
+  return NotFoundError("no durable record with tag");
+}
+
+Result<LogEntry> SharedLog::ReadAt(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.reads++;
+  if (lsn < base_lsn_) {
+    return TrimmedError("record trimmed");
+  }
+  const InternalRecord* rec = SlotLocked(lsn);
+  if (rec == nullptr) {
+    return OutOfRangeError("lsn beyond tail");
+  }
+  if (rec->durable_time > clock_->Now()) {
+    return NotFoundError("record not yet durable");
+  }
+  return rec->entry;
+}
+
+Lsn SharedLog::TailLsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Status SharedLog::Trim(Lsn new_trim_point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (new_trim_point > next_lsn_) {
+    return OutOfRangeError("trim point beyond tail");
+  }
+  if (new_trim_point <= base_lsn_) {
+    return OkStatus();  // idempotent / stale trim
+  }
+  uint64_t dropped = new_trim_point - base_lsn_;
+  records_.erase(records_.begin(), records_.begin() + dropped);
+  base_lsn_ = new_trim_point;
+  for (auto& [tag, lsns] : tag_index_) {
+    auto pos = std::lower_bound(lsns.begin(), lsns.end(), base_lsn_);
+    if (pos != lsns.begin()) {
+      tag_trimmed_high_[tag] = *(pos - 1);
+      lsns.erase(lsns.begin(), pos);
+    }
+  }
+  stats_.trims++;
+  stats_.records_trimmed += dropped;
+  return OkStatus();
+}
+
+Lsn SharedLog::TrimPoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_;
+}
+
+void SharedLog::MetaPut(std::string_view key, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metadata_[std::string(key)] = value;
+}
+
+Result<uint64_t> SharedLog::MetaGet(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metadata_.find(std::string(key));
+  if (it == metadata_.end()) {
+    return NotFoundError("no metadata key " + std::string(key));
+  }
+  return it->second;
+}
+
+uint64_t SharedLog::MetaIncrement(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++metadata_[std::string(key)];
+}
+
+bool SharedLog::MetaCas(std::string_view key, uint64_t expected,
+                        uint64_t desired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& slot = metadata_[std::string(key)];
+  if (slot != expected) {
+    return false;
+  }
+  slot = desired;
+  return true;
+}
+
+SharedLogStats SharedLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace impeller

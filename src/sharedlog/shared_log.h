@@ -1,0 +1,141 @@
+// A fault-tolerant, distributed, shared log in the style of Boki/Scalog,
+// simulated in-process (see DESIGN.md §1 for the substitution argument).
+//
+// Semantics provided (paper §2.3, §3.1):
+//  * a single global total order: every append gets a unique, dense LSN;
+//  * string-tag metadata on each record, with an index supporting efficient
+//    selective reads of the sub-sequence of records carrying a given tag;
+//  * atomic multi-stream append: one record with N tags appears, at one LSN,
+//    in all N logical substreams (the mechanism behind progress markers);
+//  * conditional appends fenced on the log's key-value configuration
+//    metadata (zombie fencing, §3.4);
+//  * a trim API that garbage-collects a prefix of the log (§3.5);
+//  * a calibrated latency model: appends block for an "ack" latency and
+//    become visible to tag readers after an additional "delivery" latency.
+//
+// Thread safety: all public methods are safe to call concurrently.
+#ifndef IMPELLER_SRC_SHAREDLOG_SHARED_LOG_H_
+#define IMPELLER_SRC_SHAREDLOG_SHARED_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/sharedlog/latency_model.h"
+#include "src/sharedlog/log_record.h"
+
+namespace impeller {
+
+struct SharedLogOptions {
+  std::string name = "log";
+  // Latency model applied to appends. Defaults to zero latency (tests).
+  std::shared_ptr<LatencyModel> latency;
+  Clock* clock = nullptr;  // defaults to MonotonicClock
+};
+
+struct SharedLogStats {
+  uint64_t appends = 0;
+  uint64_t records = 0;
+  uint64_t fenced_appends = 0;
+  uint64_t reads = 0;
+  uint64_t trims = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t records_trimmed = 0;
+};
+
+class SharedLog {
+ public:
+  explicit SharedLog(SharedLogOptions options = {});
+
+  // Appends one record; blocks for the modeled ack latency and returns the
+  // assigned LSN. Conditional appends (req.cond_key non-empty) fail with
+  // kFenced when metadata[cond_key] != cond_value.
+  Result<Lsn> Append(AppendRequest req);
+
+  // Appends a batch atomically in arrival order with one shared ack latency
+  // (models the 128 KiB output buffer flush, §5.3). If any conditional
+  // check fails the whole batch is rejected with kFenced.
+  Result<std::vector<Lsn>> AppendBatch(std::vector<AppendRequest> reqs);
+
+  // Selective read: the first record tagged `tag` with lsn >= from_lsn.
+  // Returns records strictly in LSN order per tag: if the next matching
+  // record exists but is not yet visible, reports kNotFound (non-blocking)
+  // rather than skipping ahead.
+  Result<LogEntry> ReadNext(std::string_view tag, Lsn from_lsn);
+
+  // Blocking variant of ReadNext with a timeout (kDeadlineExceeded).
+  Result<LogEntry> AwaitNext(std::string_view tag, Lsn from_lsn,
+                             DurationNs timeout);
+
+  // The newest *durable* record carrying `tag` (used by recovery to find the
+  // tail of a task-log substream). Durable = append acked, which can be
+  // slightly ahead of reader visibility.
+  Result<LogEntry> ReadLast(std::string_view tag);
+
+  // Direct read of a durable record by LSN.
+  Result<LogEntry> ReadAt(Lsn lsn);
+
+  // The LSN that the next append will receive.
+  Lsn TailLsn() const;
+
+  // Garbage collection: drops all records with lsn < new_trim_point.
+  // Reading below the trim point reports kTrimmed.
+  Status Trim(Lsn new_trim_point);
+  Lsn TrimPoint() const;
+
+  // --- Key-value configuration metadata (paper §3.4). ---
+  void MetaPut(std::string_view key, uint64_t value);
+  Result<uint64_t> MetaGet(std::string_view key) const;
+  // Atomically increments (missing keys start at 0) and returns the new
+  // value. Used by the task manager to mint instance numbers.
+  uint64_t MetaIncrement(std::string_view key);
+  bool MetaCas(std::string_view key, uint64_t expected, uint64_t desired);
+
+  SharedLogStats stats() const;
+  const std::string& name() const { return options_.name; }
+
+ private:
+  struct InternalRecord {
+    LogEntry entry;
+    TimeNs durable_time = 0;
+    bool trimmed = false;
+  };
+
+  // Returns the smallest indexed LSN >= from for `tag`, or kInvalidLsn.
+  // Caller holds mu_.
+  Lsn FindFirstLocked(std::string_view tag, Lsn from) const;
+
+  // Caller holds mu_. Slot for an LSN, or nullptr if trimmed/out of range.
+  const InternalRecord* SlotLocked(Lsn lsn) const;
+
+  Result<std::vector<Lsn>> AppendBatchInternal(
+      std::vector<AppendRequest> reqs);
+
+  SharedLogOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<InternalRecord> records_;  // records_[i] has lsn base_lsn_ + i
+  Lsn base_lsn_ = 0;                    // == trim point
+  Lsn next_lsn_ = 0;
+  std::unordered_map<std::string, std::vector<Lsn>> tag_index_;
+  // Highest LSN ever trimmed per tag: a cursor at or below this value has
+  // provably missed records and must observe kTrimmed.
+  std::unordered_map<std::string, Lsn> tag_trimmed_high_;
+  std::unordered_map<std::string, uint64_t> metadata_;
+  TimeNs last_append_time_ = 0;
+  SharedLogStats stats_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_SHAREDLOG_SHARED_LOG_H_

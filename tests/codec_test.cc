@@ -1,0 +1,226 @@
+// Round-trip and corruption tests for record envelopes, progress markers,
+// transaction control records, barriers, and NEXMark event codecs.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/marker.h"
+#include "src/core/record.h"
+#include "src/core/state_store.h"
+#include "src/core/stream.h"
+#include "src/nexmark/events.h"
+
+namespace impeller {
+namespace {
+
+TEST(TagTest, TagNamesAreDistinctPerRole) {
+  EXPECT_EQ(DataTag("X", 2), "d/X/2");
+  EXPECT_EQ(TaskLogTag("q/s/1"), "t/q/s/1");
+  EXPECT_EQ(ChangeLogTag("q/s/1"), "c/q/s/1");
+  EXPECT_EQ(InstanceMetaKey("q/s/1"), "inst/q/s/1");
+  EXPECT_EQ(MakeTaskId("q5", "win", 3), "q5/win/3");
+}
+
+TEST(EnvelopeTest, RoundTrip) {
+  RecordHeader h;
+  h.type = RecordType::kData;
+  h.producer = "q1/map/0";
+  h.instance = 7;
+  h.seq = 12345;
+  std::string payload = EncodeEnvelope(h, "body-bytes");
+  auto env = DecodeEnvelope(payload);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->header.type, RecordType::kData);
+  EXPECT_EQ(env->header.producer, "q1/map/0");
+  EXPECT_EQ(env->header.instance, 7u);
+  EXPECT_EQ(env->header.seq, 12345u);
+  EXPECT_EQ(env->body, "body-bytes");
+}
+
+TEST(EnvelopeTest, RejectsUnknownType) {
+  std::string payload = EncodeEnvelope(
+      {RecordType::kData, "p", 0, 0}, "x");
+  payload[0] = 99;
+  EXPECT_FALSE(DecodeEnvelope(payload).ok());
+}
+
+TEST(EnvelopeTest, RejectsTruncation) {
+  RecordHeader h;
+  h.producer = "task";
+  std::string payload = EncodeEnvelope(h, "body");
+  for (size_t cut : {size_t(0), size_t(1), size_t(3)}) {
+    EXPECT_FALSE(DecodeEnvelope(std::string_view(payload).substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(DataBodyTest, RoundTripWithEventTime) {
+  DataBody body;
+  body.key = "auction-42";
+  body.value = std::string(500, 'v');
+  body.event_time = 1234567890123456789;
+  auto got = DecodeDataBody(EncodeDataBody(body));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->key, body.key);
+  EXPECT_EQ(got->value, body.value);
+  EXPECT_EQ(got->event_time, body.event_time);
+}
+
+TEST(ChangeLogBodyTest, PutAndDeleteRoundTrip) {
+  ChangeLogBody put{"agg", "word", false, "7"};
+  auto got = DecodeChangeLogBody(EncodeChangeLogBody(put));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->store, "agg");
+  EXPECT_EQ(got->key, "word");
+  EXPECT_FALSE(got->is_delete);
+  EXPECT_EQ(got->value, "7");
+
+  ChangeLogBody del{"agg", "word", true, ""};
+  got = DecodeChangeLogBody(EncodeChangeLogBody(del));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->is_delete);
+}
+
+TEST(MarkerTest, FullRoundTrip) {
+  ProgressMarker m;
+  m.marker_seq = 42;
+  m.input_ends = {{"d/X/0", 100}, {"d/Y/0", kInvalidLsn}};
+  m.outputs_from = 90;
+  m.changelog_from = 95;
+  m.has_checkpoint = true;
+  m.checkpoint_seq = 40;
+  auto got = DecodeProgressMarker(EncodeProgressMarker(m));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->marker_seq, 42u);
+  ASSERT_EQ(got->input_ends.size(), 2u);
+  EXPECT_EQ(got->input_ends[0].first, "d/X/0");
+  EXPECT_EQ(got->input_ends[0].second, 100u);
+  EXPECT_EQ(got->input_ends[1].second, kInvalidLsn);
+  EXPECT_EQ(got->outputs_from, 90u);
+  EXPECT_EQ(got->changelog_from, 95u);
+  EXPECT_TRUE(got->has_checkpoint);
+  EXPECT_EQ(got->checkpoint_seq, 40u);
+}
+
+TEST(MarkerTest, CompactEncodingIsSmall) {
+  // §3.5: one LSN per range suffices. A typical marker with two output
+  // substreams should stay within a few dozen bytes.
+  ProgressMarker m;
+  m.marker_seq = 1000;
+  m.input_ends = {{"d/X/0", 123456}};
+  m.outputs_from = 123400;
+  m.changelog_from = 123410;
+  EXPECT_LT(EncodeProgressMarker(m).size(), 48u);
+}
+
+TEST(TxnControlTest, RoundTripAllKinds) {
+  for (TxnControlKind kind :
+       {TxnControlKind::kRegistration, TxnControlKind::kPreCommit,
+        TxnControlKind::kCommit, TxnControlKind::kTxnCommitted,
+        TxnControlKind::kAbort}) {
+    TxnControlBody body;
+    body.kind = kind;
+    body.txn_id = 77;
+    body.input_ends = {{"d/A/1", 9}};
+    body.changelog_from = 5;
+    auto got = DecodeTxnControlBody(EncodeTxnControlBody(body));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->kind, kind);
+    EXPECT_EQ(got->txn_id, 77u);
+    ASSERT_EQ(got->input_ends.size(), 1u);
+    EXPECT_EQ(got->input_ends[0].second, 9u);
+  }
+}
+
+TEST(BarrierTest, RoundTrip) {
+  BarrierBody body;
+  body.checkpoint_id = 13;
+  auto got = DecodeBarrierBody(EncodeBarrierBody(body));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->checkpoint_id, 13u);
+}
+
+TEST(CompositeKeyTest, RoundTripAndOrdering) {
+  std::string a = EncodeCompositeKey("key", 1);
+  std::string b = EncodeCompositeKey("key", 2);
+  std::string c = EncodeCompositeKey("key", 1ull << 40);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c) << "big-endian suffix preserves numeric order";
+  auto decoded = DecodeCompositeKey(c);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->first, "key");
+  EXPECT_EQ(decoded->second, 1ull << 40);
+  EXPECT_FALSE(DecodeCompositeKey("short").ok());
+}
+
+TEST(CompositeKeyTest, PrefixScanBoundary) {
+  // Keys sharing a prefix but different suffixes group under "<key>\0".
+  std::string k1 = EncodeCompositeKey("ab", 5);
+  EXPECT_EQ(k1.substr(0, 3), std::string("ab\0", 3));
+}
+
+TEST(NexmarkCodecTest, PersonRoundTrip) {
+  Person p;
+  p.id = 55;
+  p.name = "Kate Jones";
+  p.email = "kate@example.com";
+  p.credit_card = "1234";
+  p.city = "Boise";
+  p.state = "ID";
+  p.date_time = 999;
+  p.extra = std::string(100, 'x');
+  auto got = DecodePerson(EncodePerson(p));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->id, 55u);
+  EXPECT_EQ(got->state, "ID");
+  EXPECT_EQ(got->extra.size(), 100u);
+}
+
+TEST(NexmarkCodecTest, AuctionRoundTrip) {
+  Auction a;
+  a.id = 77;
+  a.item_name = "figurine";
+  a.initial_bid = 100;
+  a.reserve = 500;
+  a.seller = 12;
+  a.category = 13;
+  a.expires = 1000000;
+  auto got = DecodeAuction(EncodeAuction(a));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->id, 77u);
+  EXPECT_EQ(got->seller, 12u);
+  EXPECT_EQ(got->category, 13u);
+}
+
+TEST(NexmarkCodecTest, BidRoundTripAndCorruption) {
+  Bid b;
+  b.auction = 9;
+  b.bidder = 3;
+  b.price = 4242;
+  b.channel = "Apple";
+  b.url = "https://x";
+  auto got = DecodeBid(EncodeBid(b));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->price, 4242);
+  EXPECT_FALSE(DecodeBid("garbage").ok());
+}
+
+TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    std::string junk(rng.NextBounded(64), '\0');
+    for (auto& c : junk) {
+      c = static_cast<char>(rng.NextBounded(256));
+    }
+    (void)DecodeEnvelope(junk);
+    (void)DecodeProgressMarker(junk);
+    (void)DecodeTxnControlBody(junk);
+    (void)DecodeDataBody(junk);
+    (void)DecodeChangeLogBody(junk);
+    (void)DecodeBid(junk);
+    (void)DecodeAuction(junk);
+    (void)DecodePerson(junk);
+  }
+}
+
+}  // namespace
+}  // namespace impeller

@@ -1,0 +1,122 @@
+// Engine/TaskManager API-contract tests: misuse is rejected with clear
+// errors instead of undefined behaviour.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace impeller {
+namespace {
+
+using testutil::FastConfig;
+using testutil::WordCountPlan;
+
+TEST(EngineApiTest, ProducersRequireSubmittedPlan) {
+  Engine engine{EngineOptions{}};
+  EXPECT_EQ(engine.NewProducer("gen", "lines").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.NewEgressConsumer("count", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineApiTest, ProducerOnlyForIngressStreams) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = WordCountPlan(1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  EXPECT_FALSE(engine.NewProducer("gen", "words").ok())
+      << "internal streams are not ingress";
+  EXPECT_FALSE(engine.NewProducer("gen", "missing").ok());
+  EXPECT_TRUE(engine.NewProducer("gen", "lines").ok());
+  engine.Stop();
+}
+
+TEST(EngineApiTest, EgressConsumerValidatesStageAndSubstream) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = WordCountPlan(2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  EXPECT_FALSE(engine.NewEgressConsumer("split", 0).ok())
+      << "split has no sink";
+  EXPECT_FALSE(engine.NewEgressConsumer("count", 9).ok());
+  EXPECT_TRUE(engine.NewEgressConsumer("count", 1).ok());
+  engine.Stop();
+}
+
+TEST(EngineApiTest, OneQueryPerEngine) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = WordCountPlan(1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  auto second = WordCountPlan(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.Submit(std::move(*second)).code(),
+            StatusCode::kInvalidArgument)
+      << "one shared log per query (paper §3.1)";
+  engine.Stop();
+}
+
+TEST(EngineApiTest, UnknownTaskOperationsFail) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = WordCountPlan(1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  EXPECT_EQ(engine.tasks()->CrashTask("nope").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(engine.tasks()->RestartTask("nope").ok());
+  EXPECT_EQ(engine.tasks()->StartReplacement("nope").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.tasks()->FindTask("nope"), nullptr);
+  engine.Stop();
+}
+
+TEST(EngineApiTest, TaskIdsEnumerateEveryStageTask) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = WordCountPlan(2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  auto ids = engine.tasks()->AllTaskIds();
+  EXPECT_EQ(ids.size(), 4u);
+  for (const auto& id : ids) {
+    TaskRuntime* rt = engine.tasks()->FindTask(id);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->instance(), 1u) << "first instances are minted as 1";
+  }
+  engine.Stop();
+}
+
+TEST(EngineApiTest, StopIsIdempotent) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = WordCountPlan(1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  engine.Stop();
+  engine.Stop();  // second stop is a no-op, not a crash
+}
+
+TEST(EngineApiTest, MetricsRegistryIsStable) {
+  MetricsRegistry registry;
+  LatencyHistogram* h1 = registry.Histogram("a");
+  Counter* c1 = registry.GetCounter("a");
+  EXPECT_EQ(registry.Histogram("a"), h1) << "same name, same instance";
+  EXPECT_EQ(registry.GetCounter("a"), c1);
+  h1->Record(5);
+  c1->Add(3);
+  registry.ResetAll();
+  EXPECT_EQ(h1->Count(), 0u);
+  EXPECT_EQ(c1->Get(), 0u);
+  EXPECT_EQ(registry.HistogramNames().size(), 1u);
+}
+
+}  // namespace
+}  // namespace impeller

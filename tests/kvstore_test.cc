@@ -1,0 +1,157 @@
+// Unit tests for the checkpoint store (Kvrocks substitute): operations,
+// batches, prefix scans, and WAL-based crash recovery.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/kvstore/kv_store.h"
+
+namespace impeller {
+namespace {
+
+std::string TempWalPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("impeller_kv_") + name + "_" +
+           std::to_string(::getpid()) + ".wal"))
+      .string();
+}
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Put("b", "2").ok());
+  EXPECT_EQ(*store.Get("a"), "1");
+  EXPECT_TRUE(store.Contains("b"));
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.Get("a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, OverwriteKeepsLatest) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("k", "old").ok());
+  ASSERT_TRUE(store.Put("k", "new").ok());
+  EXPECT_EQ(*store.Get("k"), "new");
+}
+
+TEST(KvStoreTest, WriteBatchIsAtomicInMemory) {
+  KvStore store;
+  std::vector<KvWriteOp> ops;
+  ops.push_back({"x", "1"});
+  ops.push_back({"y", "2"});
+  ops.push_back({"x", std::nullopt});
+  ASSERT_TRUE(store.WriteBatch(std::move(ops)).ok());
+  EXPECT_FALSE(store.Contains("x"));
+  EXPECT_EQ(*store.Get("y"), "2");
+}
+
+TEST(KvStoreTest, ScanPrefixOrdered) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("ckpt/t2", "b").ok());
+  ASSERT_TRUE(store.Put("ckpt/t1", "a").ok());
+  ASSERT_TRUE(store.Put("other", "z").ok());
+  auto rows = store.ScanPrefix("ckpt/");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "ckpt/t1");
+  EXPECT_EQ(rows[1].first, "ckpt/t2");
+}
+
+TEST(KvStoreTest, WalRecoveryRestoresState) {
+  std::string wal = TempWalPath("recovery");
+  std::remove(wal.c_str());
+  {
+    KvStoreOptions opts;
+    opts.wal_path = wal;
+    KvStore store(opts);
+    ASSERT_TRUE(store.Put("alpha", "1").ok());
+    ASSERT_TRUE(store.Put("beta", "2").ok());
+    ASSERT_TRUE(store.Delete("alpha").ok());
+    ASSERT_TRUE(store.Put("gamma", std::string(10000, 'g')).ok());
+  }
+  {
+    KvStoreOptions opts;
+    opts.wal_path = wal;
+    KvStore store(opts);
+    ASSERT_TRUE(store.Recover().ok());
+    EXPECT_FALSE(store.Contains("alpha"));
+    EXPECT_EQ(*store.Get("beta"), "2");
+    EXPECT_EQ(store.Get("gamma")->size(), 10000u);
+  }
+  std::remove(wal.c_str());
+}
+
+TEST(KvStoreTest, TornWalTailIsIgnored) {
+  std::string wal = TempWalPath("torn");
+  std::remove(wal.c_str());
+  {
+    KvStoreOptions opts;
+    opts.wal_path = wal;
+    KvStore store(opts);
+    ASSERT_TRUE(store.Put("good", "1").ok());
+  }
+  {
+    // Simulate a torn write: append garbage that looks like a huge record.
+    std::FILE* f = std::fopen(wal.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    uint32_t len = 1 << 20;
+    std::fwrite(&len, 4, 1, f);
+    std::fwrite("partial", 1, 7, f);
+    std::fclose(f);
+  }
+  {
+    KvStoreOptions opts;
+    opts.wal_path = wal;
+    KvStore store(opts);
+    ASSERT_TRUE(store.Recover().ok());
+    EXPECT_EQ(*store.Get("good"), "1");
+    EXPECT_EQ(store.size(), 1u);
+  }
+  std::remove(wal.c_str());
+}
+
+TEST(KvStoreTest, CorruptWalChecksumTruncates) {
+  std::string wal = TempWalPath("corrupt");
+  std::remove(wal.c_str());
+  {
+    KvStoreOptions opts;
+    opts.wal_path = wal;
+    KvStore store(opts);
+    ASSERT_TRUE(store.Put("first", "1").ok());
+    ASSERT_TRUE(store.Put("second", "2").ok());
+  }
+  {
+    // Flip a byte in the middle of the second record's body.
+    std::FILE* f = std::fopen(wal.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -6, SEEK_END);
+    char c = 0x5A;
+    std::fwrite(&c, 1, 1, f);
+    std::fclose(f);
+  }
+  {
+    KvStoreOptions opts;
+    opts.wal_path = wal;
+    KvStore store(opts);
+    ASSERT_TRUE(store.Recover().ok());
+    EXPECT_EQ(*store.Get("first"), "1");
+    EXPECT_FALSE(store.Contains("second"))
+        << "the corrupt suffix must be dropped";
+  }
+  std::remove(wal.c_str());
+}
+
+TEST(KvStoreTest, LatencyModelChargesWrites) {
+  CalibratedLatencyParams params;
+  params.ack_median = 3 * kMillisecond;
+  params.ack_sigma = 0.01;
+  KvStoreOptions opts;
+  opts.latency = std::make_shared<CalibratedLatencyModel>(params, 1);
+  KvStore store(opts);
+  TimeNs t0 = MonotonicClock::Get()->Now();
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_GE(MonotonicClock::Get()->Now() - t0, 2 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace impeller

@@ -1,0 +1,82 @@
+// Unit tests for the Kafka-like partitioned log.
+#include <gtest/gtest.h>
+
+#include "src/common/threading.h"
+#include "src/sharedlog/partitioned_log.h"
+
+namespace impeller {
+namespace {
+
+TEST(PartitionedLogTest, TopicsAndPartitions) {
+  PartitionedLog log;
+  ASSERT_TRUE(log.CreateTopic("bids", 4).ok());
+  EXPECT_EQ(*log.PartitionCount("bids"), 4u);
+  EXPECT_TRUE(log.CreateTopic("bids", 4).ok());  // idempotent
+  EXPECT_EQ(log.CreateTopic("bids", 8).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(log.CreateTopic("zero", 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.PartitionCount("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PartitionedLogTest, PerPartitionOffsets) {
+  PartitionedLog log;
+  ASSERT_TRUE(log.CreateTopic("t", 2).ok());
+  EXPECT_EQ(*log.Append("t", 0, "k", "a"), 0u);
+  EXPECT_EQ(*log.Append("t", 0, "k", "b"), 1u);
+  EXPECT_EQ(*log.Append("t", 1, "k", "c"), 0u)
+      << "offsets are independent per partition";
+  auto rec = log.Read("t", 0, 1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->payload, "b");
+  EXPECT_EQ(*log.EndOffset("t", 0), 2u);
+}
+
+TEST(PartitionedLogTest, ReadBeyondEndIsNotFound) {
+  PartitionedLog log;
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  EXPECT_EQ(log.Read("t", 0, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(log.Read("t", 5, 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PartitionedLogTest, BatchAppendSharesOneAck) {
+  PartitionedLog log;
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.emplace_back("k", std::to_string(i));
+  }
+  auto offsets = log.AppendBatch("t", 0, std::move(batch));
+  ASSERT_TRUE(offsets.ok());
+  EXPECT_EQ(offsets->size(), 10u);
+  EXPECT_EQ(offsets->front(), 0u);
+  EXPECT_EQ(offsets->back(), 9u);
+}
+
+TEST(PartitionedLogTest, AwaitReadWakesOnAppend) {
+  PartitionedLog log;
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  JoiningThread appender([&log] {
+    MonotonicClock::Get()->SleepFor(20 * kMillisecond);
+    ASSERT_TRUE(log.Append("t", 0, "k", "late").ok());
+  });
+  auto rec = log.AwaitRead("t", 0, 0, 2 * kSecond);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->payload, "late");
+}
+
+TEST(PartitionedLogTest, KafkaLatencyModelDelaysVisibility) {
+  PartitionedLogOptions opts;
+  opts.latency = std::make_shared<CalibratedLatencyModel>(
+      CalibratedLatencyModel::KafkaParams(), 3);
+  PartitionedLog log(std::move(opts));
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  TimeNs t0 = MonotonicClock::Get()->Now();
+  ASSERT_TRUE(log.Append("t", 0, "k", "v").ok());
+  auto rec = log.AwaitRead("t", 0, 0, 2 * kSecond);
+  ASSERT_TRUE(rec.ok());
+  // The Kafka model's produce-to-consume latency is on the order of 1-3 ms.
+  EXPECT_GE(MonotonicClock::Get()->Now() - t0, 500 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace impeller

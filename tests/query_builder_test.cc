@@ -1,0 +1,129 @@
+// QueryBuilder validation and plan-resolution tests.
+#include <gtest/gtest.h>
+
+#include "src/core/query.h"
+#include "src/core/stream.h"
+
+namespace impeller {
+namespace {
+
+StreamRecord PassThrough(StreamRecord r) { return r; }
+
+TEST(QueryBuilderTest, SimplePipelineResolves) {
+  QueryBuilder qb("wc");
+  qb.Ingress("lines");
+  qb.AddStage("split", 2)
+      .ReadsFrom({"lines"})
+      .Map(PassThrough)
+      .WritesTo("words");
+  qb.AddStage("count", 3).ReadsFrom({"words"}).Map(PassThrough).Sink("wc");
+  auto plan = qb.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  const StreamSpec* lines = plan->FindStream("lines");
+  ASSERT_NE(lines, nullptr);
+  EXPECT_TRUE(lines->external);
+  EXPECT_EQ(lines->num_substreams, 2u) << "= consuming stage tasks";
+
+  const StreamSpec* words = plan->FindStream("words");
+  ASSERT_NE(words, nullptr);
+  EXPECT_EQ(words->num_substreams, 3u);
+  EXPECT_EQ(words->producer_stage, "split");
+  EXPECT_EQ(words->consumer_stage, "count");
+
+  const StreamSpec* egress = plan->FindStream(EgressStreamName("wc", "count"));
+  ASSERT_NE(egress, nullptr);
+  EXPECT_TRUE(egress->egress);
+  EXPECT_EQ(egress->num_substreams, 3u);
+
+  auto producers = plan->ProducersOf("words");
+  ASSERT_EQ(producers.size(), 2u);
+  EXPECT_EQ(producers[0], "wc/split/0");
+}
+
+TEST(QueryBuilderTest, RejectsUnknownInputStream) {
+  QueryBuilder qb("q");
+  qb.AddStage("s", 1).ReadsFrom({"nope"}).Map(PassThrough).Sink("x");
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsMultipleProducers) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 1).ReadsFrom({"in"}).Map(PassThrough).WritesTo("mid");
+  qb.AddStage("b", 1).ReadsFrom({"mid"}).Map(PassThrough).WritesTo("mid");
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsMultipleConsumers) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 1).ReadsFrom({"in"}).Map(PassThrough).WritesTo("mid");
+  qb.AddStage("b", 1).ReadsFrom({"mid"}).Map(PassThrough).Sink("b");
+  qb.AddStage("c", 1).ReadsFrom({"mid"}).Map(PassThrough).Sink("c");
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsUnconsumedStream) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 1).ReadsFrom({"in"}).Map(PassThrough).WritesTo("dangling");
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsEmptyStage) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 1).ReadsFrom({"in"});
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsZeroTasks) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 0).ReadsFrom({"in"}).Map(PassThrough).Sink("x");
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+TEST(QueryBuilderTest, RejectsDuplicateStageNames) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 1).ReadsFrom({"in"}).Map(PassThrough).WritesTo("m");
+  qb.AddStage("a", 1).ReadsFrom({"m"}).Map(PassThrough).Sink("x");
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+TEST(QueryBuilderTest, MultiInputJoinStage) {
+  QueryBuilder qb("j");
+  qb.Ingress("left").Ingress("right");
+  qb.AddStage("kl", 2).ReadsFrom({"left"}).Map(PassThrough).WritesTo("L");
+  qb.AddStage("kr", 2).ReadsFrom({"right"}).Map(PassThrough).WritesTo("R");
+  qb.AddStage("join", 4)
+      .ReadsFrom({"L", "R"})
+      .JoinStreams("j", kSecond,
+                   [](std::string_view a, std::string_view b) {
+                     return std::string(a) + std::string(b);
+                   })
+      .Sink("out");
+  auto plan = qb.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->FindStream("L")->num_substreams, 4u);
+  EXPECT_EQ(plan->FindStream("R")->num_substreams, 4u);
+  EXPECT_TRUE(plan->FindStage("join")->stateful);
+  EXPECT_FALSE(plan->FindStage("kl")->stateful);
+}
+
+TEST(QueryBuilderTest, StatefulFlagPropagates) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  AggregateFn agg;
+  agg.init = [] { return std::string(); };
+  agg.add = [](std::string_view, const StreamRecord& r) { return r.value; };
+  qb.AddStage("a", 1).ReadsFrom({"in"}).Aggregate("s", agg).Sink("x");
+  auto plan = qb.Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->FindStage("a")->stateful);
+}
+
+}  // namespace
+}  // namespace impeller

@@ -1,0 +1,208 @@
+// Rescaling tests (paper §5.3 skew tolerance): a stage over-partitioned
+// with WithSubstreams multiplexes substreams onto its tasks and can change
+// its task count at runtime without repartitioning upstream — the old
+// generation's final markers hand each substream's consumed position to the
+// new generation, preserving exactly-once output.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace impeller {
+namespace {
+
+using testutil::FastConfig;
+using testutil::WaitFor;
+
+// Word count whose split stage is over-partitioned: 6 substreams on
+// `split_tasks` tasks.
+Result<QueryPlan> OverPartitionedPlan(uint32_t split_tasks) {
+  AggregateFn count;
+  count.init = [] { return std::string("0"); };
+  count.add = [](std::string_view acc, const StreamRecord&) {
+    return std::to_string(std::stoll(std::string(acc)) + 1);
+  };
+  QueryBuilder qb("wc");
+  qb.Ingress("lines");
+  qb.AddStage("split", split_tasks)
+      .WithSubstreams(6)
+      .ReadsFrom({"lines"})
+      .FlatMap([](StreamRecord r, std::vector<StreamRecord>* out) {
+        std::istringstream stream(r.value);
+        std::string word;
+        while (stream >> word) {
+          out->push_back({word, "1", r.event_time});
+        }
+      })
+      .WritesTo("words");
+  qb.AddStage("count", 2).ReadsFrom({"words"}).Aggregate("c", count).Sink(
+      "wc");
+  return qb.Build();
+}
+
+TEST(RescaleTest, OverPartitionedStageProcessesAllSubstreams) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = OverPartitionedPlan(2);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->FindStream("lines")->num_substreams, 6u);
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  auto producer = engine.NewProducer("gen", "lines");
+  ASSERT_TRUE(producer.ok());
+  // Keys spread across all 6 ingress substreams.
+  for (int i = 0; i < 60; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "alpha beta");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  Counter* out = engine.metrics()->GetCounter("out/wc");
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= 120; }));
+  engine.Stop();
+  auto counts = testutil::ReadWordCounts(engine, 2);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)["alpha"], 60);
+  EXPECT_EQ((*counts)["beta"], 60);
+}
+
+TEST(RescaleTest, ScaleUpPreservesExactlyOnce) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = OverPartitionedPlan(2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  auto producer = engine.NewProducer("gen", "lines");
+  ASSERT_TRUE(producer.ok());
+
+  for (int i = 0; i < 40; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "up");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  Counter* out = engine.metrics()->GetCounter("out/wc");
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= 40; }));
+
+  // Respond to load: 2 -> 3 tasks, substreams redistribute 6 -> 2 each.
+  ASSERT_TRUE(engine.tasks()->RescaleStage("split", 3).ok());
+  EXPECT_NE(engine.tasks()->FindTask("wc/split/2"), nullptr);
+
+  for (int i = 0; i < 40; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "up again");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= 120; }));
+  engine.Stop();
+  auto counts = testutil::ReadWordCounts(engine, 2);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)["up"], 80) << "no loss, no duplication across rescale";
+  EXPECT_EQ((*counts)["again"], 40);
+}
+
+TEST(RescaleTest, ScaleDownPreservesExactlyOnce) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = OverPartitionedPlan(3);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  auto producer = engine.NewProducer("gen", "lines");
+  ASSERT_TRUE(producer.ok());
+
+  for (int i = 0; i < 30; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "down sizing");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  Counter* out = engine.metrics()->GetCounter("out/wc");
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= 60; }));
+
+  ASSERT_TRUE(engine.tasks()->RescaleStage("split", 1).ok());
+
+  for (int i = 0; i < 30; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "down");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= 90; }));
+  engine.Stop();
+  auto counts = testutil::ReadWordCounts(engine, 2);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)["down"], 60);
+  EXPECT_EQ((*counts)["sizing"], 30);
+}
+
+TEST(RescaleTest, RepeatedRescalesStayExact) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = OverPartitionedPlan(1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  auto producer = engine.NewProducer("gen", "lines");
+  ASSERT_TRUE(producer.ok());
+  Counter* out = engine.metrics()->GetCounter("out/wc");
+
+  uint64_t expected = 0;
+  const uint32_t sizes[] = {2, 4, 6, 3, 1};
+  for (uint32_t size : sizes) {
+    for (int i = 0; i < 20; ++i) {
+      (*producer)->Send("key" + std::to_string(i), "cycle");
+    }
+    ASSERT_TRUE((*producer)->Flush().ok());
+    expected += 20;
+    ASSERT_TRUE(WaitFor([&] { return out->Get() >= expected; }));
+    ASSERT_TRUE(engine.tasks()->RescaleStage("split", size).ok())
+        << "rescale to " << size;
+  }
+  for (int i = 0; i < 20; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "cycle");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  expected += 20;
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= expected; }));
+  engine.Stop();
+  auto counts = testutil::ReadWordCounts(engine, 2);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)["cycle"], static_cast<int64_t>(expected));
+}
+
+TEST(RescaleTest, RejectsInvalidRequests) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kProgressMarking);
+  Engine engine(std::move(options));
+  auto plan = OverPartitionedPlan(2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+
+  EXPECT_EQ(engine.tasks()->RescaleStage("nope", 2).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.tasks()->RescaleStage("split", 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.tasks()->RescaleStage("split", 7).code(),
+            StatusCode::kInvalidArgument)
+      << "cannot exceed the substream budget";
+  EXPECT_EQ(engine.tasks()->RescaleStage("count", 1).code(),
+            StatusCode::kInvalidArgument)
+      << "stateful stages cannot rescale";
+  engine.Stop();
+}
+
+TEST(RescaleTest, RejectedUnderUnsafeProtocol) {
+  EngineOptions options;
+  options.config = FastConfig(ProtocolKind::kUnsafe);
+  Engine engine(std::move(options));
+  auto plan = OverPartitionedPlan(2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
+  EXPECT_EQ(engine.tasks()->RescaleStage("split", 3).code(),
+            StatusCode::kInvalidArgument)
+      << "no markers, no substream handoff";
+  engine.Stop();
+}
+
+TEST(QueryBuilderRescaleTest, RejectsFewerSubstreamsThanTasks) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 4).WithSubstreams(2).ReadsFrom({"in"}).Map(
+      [](StreamRecord r) { return r; }).Sink("x");
+  EXPECT_FALSE(qb.Build().ok());
+}
+
+}  // namespace
+}  // namespace impeller

@@ -1,0 +1,166 @@
+// Tests for the Kafka Streams-style eager (suppressed) window emission mode
+// (§4: operators follow KS semantics) used by NEXMark Q5/Q7.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/common/serde.h"
+#include "src/core/operators.h"
+
+namespace impeller {
+namespace {
+
+class FakeContext final : public OperatorContext {
+ public:
+  MapStateStore* GetStore(std::string_view name) override {
+    auto& slot = stores_[std::string(name)];
+    if (slot == nullptr) {
+      slot = std::make_unique<MapStateStore>(std::string(name), nullptr);
+    }
+    return slot.get();
+  }
+  Clock* clock() override { return MonotonicClock::Get(); }
+  const std::string& task_id() const override { return task_id_; }
+  uint32_t task_index() const override { return 0; }
+  MetricsRegistry* metrics() override { return &metrics_; }
+  TimeNs max_event_time() const override { return max_event_time_; }
+  void set_max_event_time(TimeNs t) { max_event_time_ = t; }
+
+ private:
+  std::string task_id_ = "t/s/0";
+  MetricsRegistry metrics_;
+  std::map<std::string, std::unique_ptr<MapStateStore>> stores_;
+  TimeNs max_event_time_ = 0;
+};
+
+class CapturingCollector final : public Collector {
+ public:
+  void EmitTo(uint32_t, StreamRecord record) override {
+    emitted.push_back(std::move(record));
+  }
+  std::vector<StreamRecord> emitted;
+};
+
+AggregateFn CountAgg() {
+  AggregateFn agg;
+  agg.init = [] { return std::string("0"); };
+  agg.add = [](std::string_view acc, const StreamRecord&) {
+    return std::to_string(std::stoll(std::string(acc)) + 1);
+  };
+  return agg;
+}
+
+StreamRecord Rec(std::string key, TimeNs et) { return {std::move(key), "1", et}; }
+
+uint64_t CountOf(const StreamRecord& r) {
+  BinaryReader reader(r.value);
+  (void)*reader.ReadVarI64();
+  return std::stoull(*reader.ReadString());
+}
+
+TEST(WindowEagerTest, UpdatedPanesEmitOnSuppressionCadence) {
+  FakeContext ctx;
+  WindowAggregateOperator op("w", WindowSpec::Tumbling(10 * kSecond),
+                             CountAgg(), /*allowed_lateness=*/0,
+                             WindowEmitMode::kEagerSuppressed,
+                             /*suppress_interval=*/100 * kMillisecond);
+  op.Open(&ctx);
+  CapturingCollector out;
+
+  ctx.set_max_event_time(1 * kSecond);
+  op.Process(0, Rec("k", 1 * kSecond), &out);
+  op.Process(0, Rec("k", 2 * kSecond), &out);
+  EXPECT_TRUE(out.emitted.empty()) << "updates are suppressed until a flush";
+
+  op.OnTimer(/*now=*/kSecond, &out);
+  ASSERT_EQ(out.emitted.size(), 1u) << "one update per dirty pane per flush";
+  EXPECT_EQ(CountOf(out.emitted[0]), 2u);
+  EXPECT_EQ(out.emitted[0].event_time, 2 * kSecond)
+      << "event time tracks the freshest contribution";
+
+  // No updates since the flush: the next timer emits nothing.
+  op.OnTimer(2 * kSecond, &out);
+  EXPECT_EQ(out.emitted.size(), 1u);
+
+  // A further update re-emits the refreshed count on the next cadence.
+  op.Process(0, Rec("k", 3 * kSecond), &out);
+  op.OnTimer(3 * kSecond, &out);
+  ASSERT_EQ(out.emitted.size(), 2u);
+  EXPECT_EQ(CountOf(out.emitted[1]), 3u);
+}
+
+TEST(WindowEagerTest, SuppressionIntervalBatchesUpdates) {
+  FakeContext ctx;
+  WindowAggregateOperator op("w", WindowSpec::Tumbling(10 * kSecond),
+                             CountAgg(), 0,
+                             WindowEmitMode::kEagerSuppressed,
+                             /*suppress_interval=*/kSecond);
+  op.Open(&ctx);
+  CapturingCollector out;
+  ctx.set_max_event_time(1 * kSecond);
+  op.Process(0, Rec("k", kSecond), &out);
+  op.OnTimer(10 * kSecond, &out);  // first flush (now >= 0)
+  ASSERT_EQ(out.emitted.size(), 1u);
+  op.Process(0, Rec("k", kSecond + 1), &out);
+  op.OnTimer(10 * kSecond + 200 * kMillisecond, &out);  // within interval
+  EXPECT_EQ(out.emitted.size(), 1u) << "still suppressed";
+  op.OnTimer(11 * kSecond + kMillisecond, &out);  // past the interval
+  EXPECT_EQ(out.emitted.size(), 2u);
+}
+
+TEST(WindowEagerTest, CloseEmitsFinalValueOnlyIfDirty) {
+  FakeContext ctx;
+  WindowAggregateOperator op("w", WindowSpec::Tumbling(10 * kSecond),
+                             CountAgg(), 0,
+                             WindowEmitMode::kEagerSuppressed,
+                             /*suppress_interval=*/10 * kSecond);
+  op.Open(&ctx);
+  CapturingCollector out;
+  ctx.set_max_event_time(5 * kSecond);
+  op.Process(0, Rec("k", 5 * kSecond), &out);
+  // Watermark passes the window end with the pane still dirty: the close
+  // emits the final authoritative value exactly once.
+  ctx.set_max_event_time(11 * kSecond);
+  op.OnTimer(/*now=*/0, &out);
+  ASSERT_EQ(out.emitted.size(), 1u);
+  EXPECT_EQ(CountOf(out.emitted[0]), 1u);
+  op.OnTimer(0, &out);
+  EXPECT_EQ(out.emitted.size(), 1u) << "pane deleted after close";
+  EXPECT_EQ(ctx.GetStore("w")->size(), 0u);
+}
+
+TEST(WindowEagerTest, CloseIsSilentWhenAlreadyFlushed) {
+  FakeContext ctx;
+  WindowAggregateOperator op("w", WindowSpec::Tumbling(10 * kSecond),
+                             CountAgg(), 0,
+                             WindowEmitMode::kEagerSuppressed,
+                             /*suppress_interval=*/kMillisecond);
+  op.Open(&ctx);
+  CapturingCollector out;
+  ctx.set_max_event_time(5 * kSecond);
+  op.Process(0, Rec("k", 5 * kSecond), &out);
+  op.OnTimer(5 * kSecond, &out);  // flush emits the update
+  ASSERT_EQ(out.emitted.size(), 1u);
+  ctx.set_max_event_time(11 * kSecond);
+  op.OnTimer(6 * kSecond, &out);  // close: nothing new to say
+  EXPECT_EQ(out.emitted.size(), 1u);
+  EXPECT_EQ(ctx.GetStore("w")->size(), 0u) << "pane still cleaned up";
+}
+
+TEST(WindowEagerTest, SlidingPanesEmitIndependently) {
+  FakeContext ctx;
+  WindowAggregateOperator op("w", WindowSpec::Sliding(4 * kSecond, kSecond),
+                             CountAgg(), 0,
+                             WindowEmitMode::kEagerSuppressed,
+                             /*suppress_interval=*/kMillisecond);
+  op.Open(&ctx);
+  CapturingCollector out;
+  ctx.set_max_event_time(10 * kSecond);
+  op.Process(0, Rec("k", 10 * kSecond), &out);
+  op.OnTimer(kSecond, &out);
+  EXPECT_EQ(out.emitted.size(), 4u) << "one update per assigned pane";
+}
+
+}  // namespace
+}  // namespace impeller

@@ -1,0 +1,74 @@
+// Window assignment property tests (tumbling and sliding).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/window.h"
+
+namespace impeller {
+namespace {
+
+TEST(WindowTest, TumblingAssignsExactlyOne) {
+  WindowSpec w = WindowSpec::Tumbling(10 * kSecond);
+  EXPECT_TRUE(w.IsTumbling());
+  std::vector<TimeNs> starts;
+  w.AssignWindows(25 * kSecond, &starts);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], 20 * kSecond);
+}
+
+TEST(WindowTest, TumblingBoundaryBelongsToNextWindow) {
+  WindowSpec w = WindowSpec::Tumbling(10 * kSecond);
+  std::vector<TimeNs> starts;
+  w.AssignWindows(20 * kSecond, &starts);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], 20 * kSecond);
+}
+
+TEST(WindowTest, SlidingAssignsSizeOverSlideWindows) {
+  WindowSpec w = WindowSpec::Sliding(10 * kSecond, 2 * kSecond);
+  std::vector<TimeNs> starts;
+  w.AssignWindows(21 * kSecond, &starts);
+  ASSERT_EQ(starts.size(), 5u);
+  EXPECT_EQ(starts.front(), 20 * kSecond);
+  EXPECT_EQ(starts.back(), 12 * kSecond);
+}
+
+class WindowSweep
+    : public ::testing::TestWithParam<std::pair<DurationNs, DurationNs>> {};
+
+TEST_P(WindowSweep, EveryAssignedWindowContainsTheTimestamp) {
+  auto [size, slide] = GetParam();
+  WindowSpec w{size, slide};
+  Rng rng(31);
+  std::vector<TimeNs> starts;
+  for (int i = 0; i < 500; ++i) {
+    TimeNs t = static_cast<TimeNs>(rng.NextBounded(1000 * kSecond));
+    w.AssignWindows(t, &starts);
+    ASSERT_EQ(starts.size(), static_cast<size_t>(size / slide))
+        << "size/slide windows cover each instant";
+    for (TimeNs start : starts) {
+      EXPECT_GE(t, start);
+      EXPECT_LT(t, start + size);
+      EXPECT_EQ(start % slide, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowSweep,
+    ::testing::Values(std::make_pair(10 * kSecond, 10 * kSecond),
+                      std::make_pair(10 * kSecond, 2 * kSecond),
+                      std::make_pair(60 * kSecond, 15 * kSecond),
+                      std::make_pair(kSecond, kSecond / 4)));
+
+TEST(WindowTest, ConsecutiveTimestampsShareOverlappingWindows) {
+  WindowSpec w = WindowSpec::Sliding(10 * kSecond, 2 * kSecond);
+  std::vector<TimeNs> a, b;
+  w.AssignWindows(12 * kSecond + 200 * kMillisecond, &a);
+  w.AssignWindows(13 * kSecond + 900 * kMillisecond, &b);
+  // Same slide bucket -> identical window sets.
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace impeller
