@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_nexmark.dir/bench_fig7_nexmark.cc.o"
+  "CMakeFiles/bench_fig7_nexmark.dir/bench_fig7_nexmark.cc.o.d"
+  "bench_fig7_nexmark"
+  "bench_fig7_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

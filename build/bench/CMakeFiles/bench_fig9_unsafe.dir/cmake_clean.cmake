@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_unsafe.dir/bench_fig9_unsafe.cc.o"
+  "CMakeFiles/bench_fig9_unsafe.dir/bench_fig9_unsafe.cc.o.d"
+  "bench_fig9_unsafe"
+  "bench_fig9_unsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_unsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_recovery.dir/bench_table4_recovery.cc.o"
+  "CMakeFiles/bench_table4_recovery.dir/bench_table4_recovery.cc.o.d"
+  "bench_table4_recovery"
+  "bench_table4_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

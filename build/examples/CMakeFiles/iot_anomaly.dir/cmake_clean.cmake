@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_anomaly.dir/iot_anomaly.cpp.o"
+  "CMakeFiles/iot_anomaly.dir/iot_anomaly.cpp.o.d"
+  "iot_anomaly"
+  "iot_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_demo.dir/nexmark_demo.cpp.o"
+  "CMakeFiles/nexmark_demo.dir/nexmark_demo.cpp.o.d"
+  "nexmark_demo"
+  "nexmark_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rescale_demo.dir/rescale_demo.cpp.o"
+  "CMakeFiles/rescale_demo.dir/rescale_demo.cpp.o.d"
+  "rescale_demo"
+  "rescale_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rescale_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

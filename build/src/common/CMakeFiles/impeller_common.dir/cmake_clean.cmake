@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeller_common.dir/clock.cc.o"
+  "CMakeFiles/impeller_common.dir/clock.cc.o.d"
+  "CMakeFiles/impeller_common.dir/histogram.cc.o"
+  "CMakeFiles/impeller_common.dir/histogram.cc.o.d"
+  "CMakeFiles/impeller_common.dir/logging.cc.o"
+  "CMakeFiles/impeller_common.dir/logging.cc.o.d"
+  "CMakeFiles/impeller_common.dir/rate_limiter.cc.o"
+  "CMakeFiles/impeller_common.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/impeller_common.dir/rng.cc.o"
+  "CMakeFiles/impeller_common.dir/rng.cc.o.d"
+  "CMakeFiles/impeller_common.dir/serde.cc.o"
+  "CMakeFiles/impeller_common.dir/serde.cc.o.d"
+  "CMakeFiles/impeller_common.dir/status.cc.o"
+  "CMakeFiles/impeller_common.dir/status.cc.o.d"
+  "libimpeller_common.a"
+  "libimpeller_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeller_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeller_codec.dir/marker.cc.o"
+  "CMakeFiles/impeller_codec.dir/marker.cc.o.d"
+  "CMakeFiles/impeller_codec.dir/record.cc.o"
+  "CMakeFiles/impeller_codec.dir/record.cc.o.d"
+  "CMakeFiles/impeller_codec.dir/stream.cc.o"
+  "CMakeFiles/impeller_codec.dir/stream.cc.o.d"
+  "libimpeller_codec.a"
+  "libimpeller_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeller_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

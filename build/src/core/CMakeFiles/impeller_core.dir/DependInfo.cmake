@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/impeller_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/commit_tracker.cc" "src/core/CMakeFiles/impeller_core.dir/commit_tracker.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/commit_tracker.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/impeller_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/gc.cc" "src/core/CMakeFiles/impeller_core.dir/gc.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/gc.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/impeller_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/operators_stateful.cc" "src/core/CMakeFiles/impeller_core.dir/operators_stateful.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/operators_stateful.cc.o.d"
+  "/root/repo/src/core/operators_stateless.cc" "src/core/CMakeFiles/impeller_core.dir/operators_stateless.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/operators_stateless.cc.o.d"
+  "/root/repo/src/core/output_buffer.cc" "src/core/CMakeFiles/impeller_core.dir/output_buffer.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/output_buffer.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/impeller_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/query.cc.o.d"
+  "/root/repo/src/core/state_store.cc" "src/core/CMakeFiles/impeller_core.dir/state_store.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/state_store.cc.o.d"
+  "/root/repo/src/core/substream_reader.cc" "src/core/CMakeFiles/impeller_core.dir/substream_reader.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/substream_reader.cc.o.d"
+  "/root/repo/src/core/task_manager.cc" "src/core/CMakeFiles/impeller_core.dir/task_manager.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/task_manager.cc.o.d"
+  "/root/repo/src/core/task_runtime.cc" "src/core/CMakeFiles/impeller_core.dir/task_runtime.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/task_runtime.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/core/CMakeFiles/impeller_core.dir/window.cc.o" "gcc" "src/core/CMakeFiles/impeller_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impeller_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/impeller_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/impeller_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharedlog/CMakeFiles/impeller_sharedlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impeller_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

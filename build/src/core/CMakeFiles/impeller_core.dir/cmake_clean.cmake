@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeller_core.dir/checkpoint.cc.o"
+  "CMakeFiles/impeller_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/impeller_core.dir/commit_tracker.cc.o"
+  "CMakeFiles/impeller_core.dir/commit_tracker.cc.o.d"
+  "CMakeFiles/impeller_core.dir/engine.cc.o"
+  "CMakeFiles/impeller_core.dir/engine.cc.o.d"
+  "CMakeFiles/impeller_core.dir/gc.cc.o"
+  "CMakeFiles/impeller_core.dir/gc.cc.o.d"
+  "CMakeFiles/impeller_core.dir/metrics.cc.o"
+  "CMakeFiles/impeller_core.dir/metrics.cc.o.d"
+  "CMakeFiles/impeller_core.dir/operators_stateful.cc.o"
+  "CMakeFiles/impeller_core.dir/operators_stateful.cc.o.d"
+  "CMakeFiles/impeller_core.dir/operators_stateless.cc.o"
+  "CMakeFiles/impeller_core.dir/operators_stateless.cc.o.d"
+  "CMakeFiles/impeller_core.dir/output_buffer.cc.o"
+  "CMakeFiles/impeller_core.dir/output_buffer.cc.o.d"
+  "CMakeFiles/impeller_core.dir/query.cc.o"
+  "CMakeFiles/impeller_core.dir/query.cc.o.d"
+  "CMakeFiles/impeller_core.dir/state_store.cc.o"
+  "CMakeFiles/impeller_core.dir/state_store.cc.o.d"
+  "CMakeFiles/impeller_core.dir/substream_reader.cc.o"
+  "CMakeFiles/impeller_core.dir/substream_reader.cc.o.d"
+  "CMakeFiles/impeller_core.dir/task_manager.cc.o"
+  "CMakeFiles/impeller_core.dir/task_manager.cc.o.d"
+  "CMakeFiles/impeller_core.dir/task_runtime.cc.o"
+  "CMakeFiles/impeller_core.dir/task_runtime.cc.o.d"
+  "CMakeFiles/impeller_core.dir/window.cc.o"
+  "CMakeFiles/impeller_core.dir/window.cc.o.d"
+  "libimpeller_core.a"
+  "libimpeller_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeller_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

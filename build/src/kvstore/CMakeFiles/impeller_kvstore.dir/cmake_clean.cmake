@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeller_kvstore.dir/kv_store.cc.o"
+  "CMakeFiles/impeller_kvstore.dir/kv_store.cc.o.d"
+  "libimpeller_kvstore.a"
+  "libimpeller_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeller_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

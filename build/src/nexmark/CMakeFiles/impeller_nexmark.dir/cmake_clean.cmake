@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeller_nexmark.dir/driver.cc.o"
+  "CMakeFiles/impeller_nexmark.dir/driver.cc.o.d"
+  "CMakeFiles/impeller_nexmark.dir/events.cc.o"
+  "CMakeFiles/impeller_nexmark.dir/events.cc.o.d"
+  "CMakeFiles/impeller_nexmark.dir/generator.cc.o"
+  "CMakeFiles/impeller_nexmark.dir/generator.cc.o.d"
+  "CMakeFiles/impeller_nexmark.dir/queries.cc.o"
+  "CMakeFiles/impeller_nexmark.dir/queries.cc.o.d"
+  "libimpeller_nexmark.a"
+  "libimpeller_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeller_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

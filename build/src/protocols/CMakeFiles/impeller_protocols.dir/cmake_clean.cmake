@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeller_protocols.dir/barrier_coordinator.cc.o"
+  "CMakeFiles/impeller_protocols.dir/barrier_coordinator.cc.o.d"
+  "CMakeFiles/impeller_protocols.dir/txn_coordinator.cc.o"
+  "CMakeFiles/impeller_protocols.dir/txn_coordinator.cc.o.d"
+  "libimpeller_protocols.a"
+  "libimpeller_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeller_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

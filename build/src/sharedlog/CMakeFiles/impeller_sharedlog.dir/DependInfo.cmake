@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sharedlog/latency_model.cc" "src/sharedlog/CMakeFiles/impeller_sharedlog.dir/latency_model.cc.o" "gcc" "src/sharedlog/CMakeFiles/impeller_sharedlog.dir/latency_model.cc.o.d"
+  "/root/repo/src/sharedlog/partitioned_log.cc" "src/sharedlog/CMakeFiles/impeller_sharedlog.dir/partitioned_log.cc.o" "gcc" "src/sharedlog/CMakeFiles/impeller_sharedlog.dir/partitioned_log.cc.o.d"
+  "/root/repo/src/sharedlog/shared_log.cc" "src/sharedlog/CMakeFiles/impeller_sharedlog.dir/shared_log.cc.o" "gcc" "src/sharedlog/CMakeFiles/impeller_sharedlog.dir/shared_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/impeller_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeller_sharedlog.dir/latency_model.cc.o"
+  "CMakeFiles/impeller_sharedlog.dir/latency_model.cc.o.d"
+  "CMakeFiles/impeller_sharedlog.dir/partitioned_log.cc.o"
+  "CMakeFiles/impeller_sharedlog.dir/partitioned_log.cc.o.d"
+  "CMakeFiles/impeller_sharedlog.dir/shared_log.cc.o"
+  "CMakeFiles/impeller_sharedlog.dir/shared_log.cc.o.d"
+  "libimpeller_sharedlog.a"
+  "libimpeller_sharedlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeller_sharedlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

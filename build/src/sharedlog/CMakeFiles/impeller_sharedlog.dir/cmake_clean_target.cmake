@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimpeller_sharedlog.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_tracker_test.dir/commit_tracker_test.cc.o"
+  "CMakeFiles/commit_tracker_test.dir/commit_tracker_test.cc.o.d"
+  "commit_tracker_test"
+  "commit_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/operators_test.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/operators_test.dir/operators_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nexmark/CMakeFiles/impeller_nexmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/impeller_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/impeller_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/impeller_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharedlog/CMakeFiles/impeller_sharedlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impeller_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/impeller_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

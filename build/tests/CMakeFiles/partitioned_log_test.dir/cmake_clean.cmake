@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_log_test.dir/partitioned_log_test.cc.o"
+  "CMakeFiles/partitioned_log_test.dir/partitioned_log_test.cc.o.d"
+  "partitioned_log_test"
+  "partitioned_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

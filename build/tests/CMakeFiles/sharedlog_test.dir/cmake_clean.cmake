@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharedlog_test.dir/sharedlog_test.cc.o"
+  "CMakeFiles/sharedlog_test.dir/sharedlog_test.cc.o.d"
+  "sharedlog_test"
+  "sharedlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharedlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

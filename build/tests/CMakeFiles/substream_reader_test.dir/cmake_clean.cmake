@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substream_reader_test.dir/substream_reader_test.cc.o"
+  "CMakeFiles/substream_reader_test.dir/substream_reader_test.cc.o.d"
+  "substream_reader_test"
+  "substream_reader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substream_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_eager_test.dir/window_eager_test.cc.o"
+  "CMakeFiles/window_eager_test.dir/window_eager_test.cc.o.d"
+  "window_eager_test"
+  "window_eager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_eager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
