@@ -12,6 +12,14 @@
 //   IMPELLER_BENCH_SECONDS  measurement seconds per point (default 3)
 //   IMPELLER_BENCH_WARMUP   warmup seconds per point (default 1)
 //   IMPELLER_BENCH_FAST     if set, halves durations and prunes sweeps
+//   IMPELLER_BENCH_TRACE    path: enable span tracing and write a Chrome
+//                           trace_event JSON covering every run point
+//                           (open in about:tracing or ui.perfetto.dev)
+//   IMPELLER_BENCH_METRICS  path: write a machine-readable JSON with one
+//                           entry per run point (config, p50/p99, and the
+//                           full MetricsRegistry snapshot incl. the
+//                           "log/*" shared-log counters)
+//   IMPELLER_TRACE_RING     per-thread trace ring capacity (default 8192)
 #ifndef IMPELLER_BENCH_BENCH_COMMON_H_
 #define IMPELLER_BENCH_BENCH_COMMON_H_
 
@@ -24,6 +32,9 @@
 #include "src/core/engine.h"
 #include "src/nexmark/driver.h"
 #include "src/nexmark/queries.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 
 namespace impeller {
 namespace bench {
@@ -90,6 +101,81 @@ struct RunResult {
   uint64_t outputs = 0;
   uint64_t inputs = 0;
   bool saturated = false;  // p99 beyond the paper's cutoff for the query
+};
+
+// Observability session shared by every run point of a bench binary: when
+// IMPELLER_BENCH_TRACE / IMPELLER_BENCH_METRICS are set, each point drains
+// the span collector into one growing Chrome trace and appends a JSON entry
+// (config + metrics snapshot) rewritten after every point, so interrupted
+// sweeps still leave usable files.
+class BenchObs {
+ public:
+  static BenchObs& Instance() {
+    static BenchObs* obs = new BenchObs();  // writer closed via atexit
+    return *obs;
+  }
+
+  void OnRunStart() {
+    if (trace_path_ != nullptr) {
+      obs::TraceCollector::Get().Enable();
+    }
+  }
+
+  void OnRunEnd(Engine* engine, const RunConfig& config,
+                const RunResult& result) {
+    if (trace_path_ != nullptr) {
+      if (!trace_writer_.is_open()) {
+        if (Status st = trace_writer_.Open(trace_path_); !st.ok()) {
+          std::fprintf(stderr, "trace export disabled: %s\n",
+                       st.ToString().c_str());
+          trace_path_ = nullptr;
+        }
+      }
+      if (trace_writer_.is_open()) {
+        (void)trace_writer_.Append(obs::TraceCollector::Get().Drain());
+      }
+    }
+    if (metrics_path_ == nullptr) {
+      return;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"system\": \"%s\", \"query\": %d, "
+                  "\"events_per_sec\": %.0f, \"commit_interval_ms\": %.1f, "
+                  "\"p50_ns\": %lld, \"p99_ns\": %lld, \"inputs\": %llu, "
+                  "\"outputs\": %llu, \"saturated\": %s,\n\"metrics\": ",
+                  SystemName(config.system), config.query,
+                  config.events_per_sec, config.commit_interval / 1e6,
+                  static_cast<long long>(result.p50),
+                  static_cast<long long>(result.p99),
+                  static_cast<unsigned long long>(result.inputs),
+                  static_cast<unsigned long long>(result.outputs),
+                  result.saturated ? "true" : "false");
+    if (!points_.empty()) {
+      points_ += ",\n";
+    }
+    points_ += buf;
+    points_ += obs::MetricsToJson(engine->metrics());
+    points_ += "}";
+    Status st = obs::WriteFile(metrics_path_,
+                               "{\"points\": [\n" + points_ + "\n]}\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+
+ private:
+  BenchObs()
+      : trace_path_(std::getenv("IMPELLER_BENCH_TRACE")),
+        metrics_path_(std::getenv("IMPELLER_BENCH_METRICS")) {
+    std::atexit([] { (void)Instance().trace_writer_.Close(); });
+  }
+
+  const char* trace_path_;
+  const char* metrics_path_;
+  obs::ChromeTraceWriter trace_writer_;
+  std::string points_;  // accumulated per-point JSON entries
 };
 
 inline EngineOptions MakeEngineOptions(const RunConfig& config,
@@ -163,6 +249,7 @@ inline NexmarkQueryOptions ScaledQueryOptions(const RunConfig& config) {
 
 // Runs one (system, query, rate) point and reports sink latency.
 inline RunResult RunPoint(const RunConfig& config, uint64_t seed = 7) {
+  BenchObs::Instance().OnRunStart();
   Engine engine(MakeEngineOptions(config, seed));
   auto plan = BuildNexmarkQuery(config.query, ScaledQueryOptions(config));
   if (!plan.ok()) {
@@ -206,6 +293,7 @@ inline RunResult RunPoint(const RunConfig& config, uint64_t seed = 7) {
   engine.Stop();
   int64_t cutoff = config.query <= 2 ? 60 * kMillisecond : kSecond;
   result.saturated = result.p99 > cutoff || result.p50 == 0;
+  BenchObs::Instance().OnRunEnd(&engine, config, result);
   return result;
 }
 

@@ -3,6 +3,7 @@
 // selective reads, conditional appends, and trim.
 #include <benchmark/benchmark.h>
 
+#include "src/obs/trace.h"
 #include "src/sharedlog/partitioned_log.h"
 #include "src/sharedlog/shared_log.h"
 
@@ -22,6 +23,27 @@ void BM_SharedLogAppend(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_SharedLogAppend)->Arg(100)->Arg(1024)->Arg(16 * 1024);
+
+void BM_SharedLogAppendTraced(benchmark::State& state) {
+  // Tracing-overhead check: the same append path as BM_SharedLogAppend with
+  // span recording runtime-enabled. Compare ns/op against BM_SharedLogAppend
+  // at the same arg — the delta is the full tracing cost (two clock reads
+  // plus a thread-local ring write per span) and must stay under 1%.
+  obs::TraceCollector::Get().Enable();
+  SharedLog log;
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    AppendRequest req;
+    req.tags = {"t"};
+    req.payload = payload;
+    benchmark::DoNotOptimize(log.Append(std::move(req)));
+  }
+  obs::TraceCollector::Get().Disable();
+  (void)obs::TraceCollector::Get().Drain();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SharedLogAppendTraced)->Arg(100)->Arg(1024)->Arg(16 * 1024);
 
 void BM_SharedLogAppendBatch(benchmark::State& state) {
   SharedLog log;

@@ -1,0 +1,53 @@
+#include "src/common/metrics.h"
+
+namespace impeller {
+
+LatencyHistogram* MetricsRegistry::Histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyHistogram>();
+  }
+  return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, _] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, _] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, h] : histograms_) {
+    h->Reset();
+  }
+  for (auto& [_, c] : counters_) {
+    c->Reset();
+  }
+}
+
+}  // namespace impeller

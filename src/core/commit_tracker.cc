@@ -1,11 +1,15 @@
 #include "src/core/commit_tracker.h"
 
 #include "src/common/serde.h"
+#include "src/obs/trace.h"
 
 namespace impeller {
 
 void CommitTracker::OnCommitEvent(const std::string& producer,
                                   uint64_t instance, Lsn commit_lsn) {
+  // Marks when a consumer learns a producer's cut advanced — the moment
+  // buffered kUnknown records become processable (§3.3.3).
+  TRACE_INSTANT("protocol", "commit_event");
   ProducerCut& cut = cuts_[producer];
   if (instance < cut.instance) {
     return;  // stale event from a superseded instance

@@ -12,6 +12,7 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   log_opts.name = options_.name + ".log";
   log_opts.latency = options_.log_latency;
   log_opts.clock = clock_;
+  log_opts.metrics = &metrics_;
   log_ = std::make_unique<SharedLog>(std::move(log_opts));
   KvStoreOptions kv_opts;
   kv_opts.wal_path = options_.kv_wal_path;

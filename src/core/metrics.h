@@ -1,47 +1,9 @@
-// Process-wide metrics registry: named latency histograms and counters.
-// Sinks record end-to-end event-time latency here; benchmarks and tests read
-// the results.
+// Forwarding header: MetricsRegistry moved to src/common so that the
+// shared-log and observability layers (which must not depend on src/core)
+// can record into it. Kept so existing includes stay valid.
 #ifndef IMPELLER_SRC_CORE_METRICS_H_
 #define IMPELLER_SRC_CORE_METRICS_H_
 
-#include <atomic>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <string_view>
-#include <vector>
-
-#include "src/common/histogram.h"
-
-namespace impeller {
-
-class Counter {
- public:
-  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
-
- private:
-  std::atomic<uint64_t> value_{0};
-};
-
-class MetricsRegistry {
- public:
-  // Returned pointers stay valid for the registry's lifetime.
-  LatencyHistogram* Histogram(std::string_view name);
-  Counter* GetCounter(std::string_view name);
-
-  std::vector<std::string> HistogramNames() const;
-  std::vector<std::string> CounterNames() const;
-  void ResetAll();
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-};
-
-}  // namespace impeller
+#include "src/common/metrics.h"
 
 #endif  // IMPELLER_SRC_CORE_METRICS_H_

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/common/serde.h"
 #include "src/core/stream.h"
+#include "src/obs/trace.h"
 #include "src/protocols/barrier_coordinator.h"
 #include "src/protocols/txn_coordinator.h"
 
@@ -166,6 +167,7 @@ void TaskRuntime::PublishGcFloors() {
 // --- Recovery ---
 
 Status TaskRuntime::Recover() {
+  TRACE_SPAN("task", "recover");
   TimeNs t0 = wiring_.clock->Now();
 
   for (const auto& factory : wiring_.stage->operators) {
@@ -448,10 +450,12 @@ void TaskRuntime::ProcessReady(size_t slot, ReadyRecord record) {
 }
 
 void TaskRuntime::RunRecord(uint32_t input, StreamRecord record) {
+  TRACE_SPAN("task", "process_record");
   operators_[0]->Process(input, std::move(record), collectors_[0].get());
 }
 
 void TaskRuntime::RunTimers(TimeNs now) {
+  TRACE_SPAN("task", "timers");
   for (size_t i = 0; i < operators_.size(); ++i) {
     operators_[i]->OnTimer(now, collectors_[i].get());
   }
@@ -494,6 +498,7 @@ Status TaskRuntime::MaybeFlush(bool force) {
     txn_inflight_ = {};
     IMPELLER_RETURN_IF_ERROR(st);
   }
+  TRACE_SPAN("task", "flush");
   auto result = output_buffer_.Flush();
   if (!result.ok()) {
     return result.status();
@@ -521,6 +526,7 @@ Status TaskRuntime::CommitProgressMarking() {
   if (!epoch_dirty_ && ends == last_input_ends_ && output_buffer_.empty()) {
     return OkStatus();  // idle epoch: nothing to commit
   }
+  TRACE_SPAN("protocol", "commit_marker");
   IMPELLER_RETURN_IF_ERROR(MaybeFlush(true));
 
   ProgressMarker marker;
@@ -574,6 +580,7 @@ Status TaskRuntime::CommitKafkaTxn() {
   if (!epoch_dirty_ && ends == last_input_ends_ && output_buffer_.empty()) {
     return OkStatus();
   }
+  TRACE_SPAN("protocol", "commit_txn");
   IMPELLER_RETURN_IF_ERROR(MaybeFlush(true));
 
   TxnRequest req;
@@ -613,6 +620,7 @@ void TaskRuntime::OnBarrier(size_t slot, const std::string& producer,
   if (wiring_.config.protocol != ProtocolKind::kAlignedCheckpoint) {
     return;
   }
+  TRACE_INSTANT("protocol", "barrier");
   if (checkpoint_id <= last_completed_ckpt_) {
     return;  // stale barrier from before our recovery point
   }
@@ -653,6 +661,7 @@ void TaskRuntime::OnBarrier(size_t slot, const std::string& producer,
 }
 
 Status TaskRuntime::CompleteAlignment() {
+  TRACE_SPAN("protocol", "align_checkpoint");
   uint64_t id = align_ckpt_id_;
   IMPELLER_RETURN_IF_ERROR(MaybeFlush(true));
 

@@ -8,6 +8,7 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/serde.h"
+#include "src/obs/trace.h"
 
 namespace impeller {
 
@@ -40,6 +41,7 @@ KvStore::~KvStore() {
 }
 
 Status KvStore::Recover() {
+  TRACE_SPAN("kv", "recover");
   if (options_.wal_path.empty()) {
     return OkStatus();
   }
@@ -148,6 +150,9 @@ Status KvStore::WriteBatch(std::vector<KvWriteOp> ops) {
   if (ops.empty()) {
     return OkStatus();
   }
+  // Covers the WAL append plus the modeled synchronous remote-write wait —
+  // the cost aligned checkpointing pays per snapshot (§5.3.3).
+  TRACE_SPAN("kv", "write_batch");
   size_t bytes = 0;
   for (const auto& op : ops) {
     bytes += op.key.size() + (op.value ? op.value->size() : 0);
@@ -170,6 +175,7 @@ Status KvStore::WriteBatch(std::vector<KvWriteOp> ops) {
 }
 
 Result<std::string> KvStore::Get(std::string_view key) const {
+  TRACE_SPAN("kv", "get");
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(std::string(key));
   if (it == data_.end()) {

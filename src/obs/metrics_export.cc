@@ -1,0 +1,130 @@
+#include "src/obs/metrics_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace impeller {
+namespace obs {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+struct Quantile {
+  const char* label;  // Prometheus quantile label
+  const char* json;   // JSON key
+  double p;
+};
+
+constexpr Quantile kQuantiles[] = {{"0.5", "p50", 50.0},
+                                   {"0.9", "p90", 90.0},
+                                   {"0.99", "p99", 99.0},
+                                   {"0.999", "p999", 99.9}};
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "impeller_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string MetricsToPrometheusText(MetricsRegistry* registry) {
+  std::string out;
+  char buf[128];
+  for (const std::string& name : registry->CounterNames()) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", prom.c_str(),
+                  registry->GetCounter(name)->Get());
+    out += buf;
+  }
+  for (const std::string& name : registry->HistogramNames()) {
+    LatencyHistogram* h = registry->Histogram(name);
+    std::string prom = PrometheusName(name) + "_ns";
+    out += "# TYPE " + prom + " summary\n";
+    for (const Quantile& q : kQuantiles) {
+      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %" PRId64 "\n",
+                    prom.c_str(), q.label, h->Percentile(q.p));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_sum %.0f\n", prom.c_str(),
+                  h->Mean() * static_cast<double>(h->Count()));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", prom.c_str(),
+                  h->Count());
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsToJson(MetricsRegistry* registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  char buf[128];
+  for (const std::string& name : registry->CounterNames()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), "\": %" PRIu64,
+                  registry->GetCounter(name)->Get());
+    out += buf;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const std::string& name : registry->HistogramNames()) {
+    LatencyHistogram* h = registry->Histogram(name);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    out += "\": {";
+    std::snprintf(buf, sizeof(buf),
+                  "\"count\": %" PRIu64 ", \"mean_ns\": %.1f, \"min_ns\": %" PRId64
+                  ", \"max_ns\": %" PRId64,
+                  h->Count(), h->Mean(), h->Min(), h->Max());
+    out += buf;
+    for (const Quantile& q : kQuantiles) {
+      std::snprintf(buf, sizeof(buf), ", \"%s\": %" PRId64, q.json,
+                    h->Percentile(q.p));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError("cannot open " + path);
+  }
+  size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  if (n != content.size() || rc != 0) {
+    return InternalError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace obs
+}  // namespace impeller

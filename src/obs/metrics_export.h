@@ -1,0 +1,34 @@
+// MetricsRegistry exporters: Prometheus text exposition (scrape-style) and
+// a machine-readable JSON snapshot. Both walk every registered counter and
+// latency histogram; histograms are exported as summaries (count / sum /
+// min / max plus p50, p90, p99, p999 quantiles).
+#ifndef IMPELLER_SRC_OBS_METRICS_EXPORT_H_
+#define IMPELLER_SRC_OBS_METRICS_EXPORT_H_
+
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+
+namespace impeller {
+namespace obs {
+
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; registry
+// names like "log/appends" or "lat/q1-sink" become "impeller_log_appends".
+std::string PrometheusName(std::string_view name);
+
+// Prometheus text exposition format, one "# TYPE" block per metric.
+// Counters export as counters; histograms as summaries with quantile
+// labels. Values are nanoseconds where the underlying metric records them.
+std::string MetricsToPrometheusText(MetricsRegistry* registry);
+
+// {"counters": {name: value}, "histograms": {name: {count, sum_ns, ...}}}
+std::string MetricsToJson(MetricsRegistry* registry);
+
+// Writes `content` to `path` (truncating). Shared by the bench exporters.
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_OBS_METRICS_EXPORT_H_

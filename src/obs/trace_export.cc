@@ -1,0 +1,113 @@
+#include "src/obs/trace_export.h"
+
+#include <cinttypes>
+
+namespace impeller {
+namespace obs {
+
+namespace {
+
+// Categories and names are string literals from TRACE_SPAN call sites, but
+// escape defensively so the output is always valid JSON.
+void AppendEscaped(std::string* out, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendMicros(std::string* out, int64_t ns) {
+  // trace_event timestamps are microseconds; keep ns precision as decimals.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ChromeTraceEventJson(const TraceRecord& record) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"name\":\"";
+  AppendEscaped(&out, record.name);
+  out += "\",\"cat\":\"";
+  AppendEscaped(&out, record.category);
+  out += "\",\"ph\":\"";
+  out += record.instant ? 'i' : 'X';
+  out += "\",\"ts\":";
+  AppendMicros(&out, record.start_ns);
+  if (record.instant) {
+    out += ",\"s\":\"t\"";
+  } else {
+    out += ",\"dur\":";
+    AppendMicros(&out, record.end_ns - record.start_ns);
+  }
+  out += ",\"pid\":1,\"tid\":";
+  out += std::to_string(record.tid);
+  out += ",\"args\":{\"depth\":";
+  out += std::to_string(record.depth);
+  out += "}}";
+  return out;
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { (void)Close(); }
+
+Status ChromeTraceWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return InvalidArgumentError("trace writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return InternalError("cannot open trace file " + path);
+  }
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", file_);
+  events_ = 0;
+  return OkStatus();
+}
+
+Status ChromeTraceWriter::Append(const std::vector<TraceRecord>& records) {
+  if (file_ == nullptr) {
+    return InvalidArgumentError("trace writer not open");
+  }
+  for (const TraceRecord& record : records) {
+    std::string json = ChromeTraceEventJson(record);
+    if (events_ > 0) {
+      std::fputs(",\n", file_);
+    }
+    std::fputs(json.c_str(), file_);
+    events_++;
+  }
+  std::fflush(file_);
+  return OkStatus();
+}
+
+Status ChromeTraceWriter::Close() {
+  if (file_ == nullptr) {
+    return OkStatus();
+  }
+  std::fputs("]}\n", file_);
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  return rc == 0 ? OkStatus() : InternalError("trace file close failed");
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceRecord>& records) {
+  ChromeTraceWriter writer;
+  IMPELLER_RETURN_IF_ERROR(writer.Open(path));
+  IMPELLER_RETURN_IF_ERROR(writer.Append(records));
+  return writer.Close();
+}
+
+}  // namespace obs
+}  // namespace impeller

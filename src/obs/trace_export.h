@@ -1,0 +1,51 @@
+// Chrome trace_event exporter: serializes TraceRecords into the JSON object
+// format understood by chrome://tracing and Perfetto (ui.perfetto.dev →
+// "Open trace file"). Spans become complete ("X") events with microsecond
+// timestamps; instants become thread-scoped "i" events.
+#ifndef IMPELLER_SRC_OBS_TRACE_EXPORT_H_
+#define IMPELLER_SRC_OBS_TRACE_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/trace.h"
+
+namespace impeller {
+namespace obs {
+
+// One trace_event JSON object (no trailing comma / newline).
+std::string ChromeTraceEventJson(const TraceRecord& record);
+
+// Incremental writer: Open once, Append batches as they are drained, Close
+// to terminate the JSON. Close is idempotent and runs from the destructor,
+// so a normally-exiting process always leaves a valid file.
+class ChromeTraceWriter {
+ public:
+  ChromeTraceWriter() = default;
+  ~ChromeTraceWriter();
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(const std::vector<TraceRecord>& records);
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  uint64_t events_written() const { return events_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t events_ = 0;
+};
+
+// Convenience: writes a complete trace file in one call.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceRecord>& records);
+
+}  // namespace obs
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_OBS_TRACE_EXPORT_H_

@@ -5,6 +5,7 @@
 #include "src/core/commit_tracker.h"
 #include "src/core/marker.h"
 #include "src/core/record.h"
+#include "src/obs/trace.h"
 
 namespace impeller {
 
@@ -48,6 +49,7 @@ void BarrierCoordinator::Stop() {
 }
 
 Status BarrierCoordinator::InjectBarriers(uint64_t checkpoint_id) {
+  TRACE_SPAN("protocol", "inject_barriers");
   // One barrier record per ingress substream: Kafka/Flink have no atomic
   // multi-partition append, so the baseline does not get one either. The
   // per-substream appends share one batch ack (parallel producer requests).
@@ -126,6 +128,7 @@ void BarrierCoordinator::Loop() {
 
 void BarrierCoordinator::AckCheckpoint(const std::string& task_id,
                                        uint64_t checkpoint_id) {
+  TRACE_INSTANT("protocol", "checkpoint_ack");
   std::lock_guard<std::mutex> lock(mu_);
   if (checkpoint_id != inflight_id_) {
     return;  // stale ack for an abandoned checkpoint

@@ -3,6 +3,7 @@
 #include "src/common/logging.h"
 #include "src/core/record.h"
 #include "src/core/stream.h"
+#include "src/obs/trace.h"
 
 namespace impeller {
 
@@ -65,6 +66,9 @@ Status TxnCoordinator::AppendTxnStream(TxnControlKind kind, uint64_t txn_id,
 
 Result<std::shared_future<Status>> TxnCoordinator::CommitTransaction(
     TxnRequest request) {
+  // Phase one runs synchronously on the committing task's thread: two RPC
+  // round trips plus two coordinator log appends (§3.6).
+  TRACE_SPAN("protocol", "txn_phase1");
   if (!running_.load()) {
     return UnavailableError("coordinator stopped");
   }
@@ -111,6 +115,7 @@ void TxnCoordinator::WorkerLoop() {
     }
     PendingTxn& txn = **item;
     const TxnRequest& req = txn.request;
+    TRACE_SPAN("protocol", "txn_phase2");
 
     // Phase two: one commit control record per registered substream. The
     // commit record on the task-log substream carries the input ends used

@@ -4,8 +4,19 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace impeller {
+
+namespace {
+
+inline void Bump(Counter* counter, uint64_t n = 1) {
+  if (counter != nullptr) {
+    counter->Add(n);
+  }
+}
+
+}  // namespace
 
 SharedLog::SharedLog(SharedLogOptions options)
     : options_(std::move(options)) {
@@ -15,6 +26,18 @@ SharedLog::SharedLog(SharedLogOptions options)
   clock_ = options_.clock;
   if (options_.latency == nullptr) {
     options_.latency = std::make_shared<ZeroLatencyModel>();
+  }
+  if (options_.metrics != nullptr) {
+    counters_.appends = options_.metrics->GetCounter("log/appends");
+    counters_.records = options_.metrics->GetCounter("log/records");
+    counters_.fenced_appends =
+        options_.metrics->GetCounter("log/fenced_appends");
+    counters_.reads = options_.metrics->GetCounter("log/reads");
+    counters_.trims = options_.metrics->GetCounter("log/trims");
+    counters_.bytes_appended =
+        options_.metrics->GetCounter("log/bytes_appended");
+    counters_.records_trimmed =
+        options_.metrics->GetCounter("log/records_trimmed");
   }
   last_append_time_ = clock_->Now();
 }
@@ -39,6 +62,7 @@ Result<std::vector<Lsn>> SharedLog::AppendBatch(
 
 Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
     std::vector<AppendRequest> reqs) {
+  TRACE_SPAN("log", "append");
   TimeNs start = clock_->Now();
   size_t batch_bytes = 0;
   for (const auto& r : reqs) {
@@ -58,6 +82,8 @@ Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
         uint64_t current = (it == metadata_.end()) ? 0 : it->second;
         if (current != r.cond_value) {
           stats_.fenced_appends += reqs.size();
+          Bump(counters_.fenced_appends, reqs.size());
+          TRACE_INSTANT("log", "append_fenced");
           return FencedError("conditional append: " + r.cond_key + " is " +
                              std::to_string(current) + ", expected " +
                              std::to_string(r.cond_value));
@@ -85,10 +111,19 @@ Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
     stats_.records += reqs.size();
     stats_.bytes_appended += batch_bytes;
   }
+  Bump(counters_.appends);
+  Bump(counters_.records, lsns.size());
+  Bump(counters_.bytes_appended, batch_bytes);
   // Readers blocked in AwaitNext wake up and re-check visibility.
   cv_.notify_all();
-  // The appender observes the ack latency.
-  clock_->SleepFor(latency.ack);
+  {
+    // The appender observes the ack latency; records become visible to tag
+    // readers only after the additional delivery latency (§2.3), so the gap
+    // between this child span and the parent's end is exactly the modeled
+    // ack round trip the protocols pay per sequential append.
+    TRACE_SPAN("log", "append_ack_wait");
+    clock_->SleepFor(latency.ack);
+  }
   return lsns;
 }
 
@@ -114,6 +149,8 @@ const SharedLog::InternalRecord* SharedLog::SlotLocked(Lsn lsn) const {
 }
 
 Result<LogEntry> SharedLog::ReadNext(std::string_view tag, Lsn from_lsn) {
+  TRACE_SPAN("log", "read_next");
+  Bump(counters_.reads);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.reads++;
   if (auto it = tag_trimmed_high_.find(std::string(tag));
@@ -138,6 +175,8 @@ Result<LogEntry> SharedLog::ReadNext(std::string_view tag, Lsn from_lsn) {
 
 Result<LogEntry> SharedLog::AwaitNext(std::string_view tag, Lsn from_lsn,
                                       DurationNs timeout) {
+  TRACE_SPAN("log", "await_next");
+  Bump(counters_.reads);
   TimeNs deadline = clock_->Now() + timeout;
   std::unique_lock<std::mutex> lock(mu_);
   stats_.reads++;
@@ -169,6 +208,8 @@ Result<LogEntry> SharedLog::AwaitNext(std::string_view tag, Lsn from_lsn,
 }
 
 Result<LogEntry> SharedLog::ReadLast(std::string_view tag) {
+  TRACE_SPAN("log", "read_last");
+  Bump(counters_.reads);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.reads++;
   auto it = tag_index_.find(std::string(tag));
@@ -190,6 +231,8 @@ Result<LogEntry> SharedLog::ReadLast(std::string_view tag) {
 }
 
 Result<LogEntry> SharedLog::ReadAt(Lsn lsn) {
+  TRACE_SPAN("log", "read_at");
+  Bump(counters_.reads);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.reads++;
   if (lsn < base_lsn_) {
@@ -211,6 +254,7 @@ Lsn SharedLog::TailLsn() const {
 }
 
 Status SharedLog::Trim(Lsn new_trim_point) {
+  TRACE_SPAN("log", "trim");
   std::lock_guard<std::mutex> lock(mu_);
   if (new_trim_point > next_lsn_) {
     return OutOfRangeError("trim point beyond tail");
@@ -219,6 +263,8 @@ Status SharedLog::Trim(Lsn new_trim_point) {
     return OkStatus();  // idempotent / stale trim
   }
   uint64_t dropped = new_trim_point - base_lsn_;
+  Bump(counters_.trims);
+  Bump(counters_.records_trimmed, dropped);
   records_.erase(records_.begin(), records_.begin() + dropped);
   base_lsn_ = new_trim_point;
   for (auto& [tag, lsns] : tag_index_) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/sharedlog/latency_model.h"
 #include "src/sharedlog/log_record.h"
@@ -39,6 +40,9 @@ struct SharedLogOptions {
   // Latency model applied to appends. Defaults to zero latency (tests).
   std::shared_ptr<LatencyModel> latency;
   Clock* clock = nullptr;  // defaults to MonotonicClock
+  // Optional: when set, the log mirrors its SharedLogStats into "log/*"
+  // counters so metric exporters see log traffic without polling stats().
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct SharedLogStats {
@@ -119,8 +123,21 @@ class SharedLog {
   Result<std::vector<Lsn>> AppendBatchInternal(
       std::vector<AppendRequest> reqs);
 
+  // Pre-resolved "log/*" counters mirroring SharedLogStats; all nullptr when
+  // no registry was configured.
+  struct StatCounters {
+    Counter* appends = nullptr;
+    Counter* records = nullptr;
+    Counter* fenced_appends = nullptr;
+    Counter* reads = nullptr;
+    Counter* trims = nullptr;
+    Counter* bytes_appended = nullptr;
+    Counter* records_trimmed = nullptr;
+  };
+
   SharedLogOptions options_;
   Clock* clock_;
+  StatCounters counters_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

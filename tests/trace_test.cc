@@ -1,0 +1,273 @@
+// Observability subsystem tests: TraceCollector ring buffers (wraparound,
+// multi-thread drain, drain-while-recording), span nesting via the RAII
+// macros, and a golden-file check of the Chrome trace_event exporter.
+//
+// The collector is a process-wide singleton, so every test drains it first
+// and filters drained records by the tids it created.
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "src/obs/trace_export.h"
+
+namespace impeller {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Get().Enable();
+    (void)TraceCollector::Get().Drain();  // discard leftovers of prior tests
+  }
+  void TearDown() override {
+    TraceCollector::Get().Disable();
+    (void)TraceCollector::Get().Drain();
+    TraceCollector::Get().SetRingCapacity(8192);
+  }
+};
+
+TEST_F(TraceTest, RecordsSpansAndInstants) {
+  {
+    SpanGuard span("log", "append");
+    TraceCollector::Get().RecordInstant("protocol", "commit_event");
+  }
+  auto records = TraceCollector::Get().Drain();
+  ASSERT_EQ(records.size(), 2u);
+  // The instant closes before the span and drains first.
+  EXPECT_TRUE(records[0].instant);
+  EXPECT_STREQ(records[0].category, "protocol");
+  EXPECT_STREQ(records[0].name, "commit_event");
+  EXPECT_FALSE(records[1].instant);
+  EXPECT_STREQ(records[1].category, "log");
+  EXPECT_STREQ(records[1].name, "append");
+  EXPECT_LE(records[1].start_ns, records[1].end_ns);
+  EXPECT_EQ(records[1].tid, records[0].tid);
+}
+
+TEST_F(TraceTest, SpanNesting) {
+  {
+    SpanGuard outer("task", "outer");
+    {
+      SpanGuard inner("log", "inner");
+    }
+  }
+  auto records = TraceCollector::Get().Drain();
+  ASSERT_EQ(records.size(), 2u);
+  const TraceRecord& inner = records[0];  // closes (and records) first
+  const TraceRecord& outer = records[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  TraceCollector::Get().Disable();
+  {
+    SpanGuard span("log", "ignored");
+    TraceCollector::Get().RecordInstant("log", "ignored");
+  }
+  // A span opened while disabled stays inactive even if tracing is enabled
+  // before it closes.
+  {
+    SpanGuard span("log", "opened_disabled");
+    TraceCollector::Get().Enable();
+  }
+  EXPECT_TRUE(TraceCollector::Get().Drain().empty());
+}
+
+TEST_F(TraceTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  TraceCollector::Get().SetRingCapacity(16);
+  uint64_t dropped_before = TraceCollector::Get().dropped();
+  // A fresh thread gets a fresh ring with the new capacity.
+  std::thread([] {
+    for (int i = 0; i < 40; ++i) {
+      SpanGuard span("log", i < 24 ? "old" : "new");
+    }
+  }).join();
+  auto records = TraceCollector::Get().Drain();
+  ASSERT_EQ(records.size(), 16u);
+  for (const TraceRecord& r : records) {
+    EXPECT_STREQ(r.name, "new") << "oldest records must be overwritten";
+  }
+  // Drained oldest-first within the surviving window.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].end_ns, records[i].end_ns);
+  }
+  EXPECT_EQ(TraceCollector::Get().dropped() - dropped_before, 24u);
+}
+
+TEST_F(TraceTest, MultiThreadDrain) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SpanGuard span("task", "work");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  auto records = TraceCollector::Get().Drain();
+  ASSERT_EQ(records.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  std::set<uint32_t> tids;
+  for (const TraceRecord& r : records) {
+    tids.insert(r.tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  // Exited threads' buffers are released after the drain; the next drain
+  // must be empty, not a replay.
+  EXPECT_TRUE(TraceCollector::Get().Drain().empty());
+}
+
+TEST_F(TraceTest, DrainWhileRecordingLosesNothingUnaccounted) {
+  constexpr int kEvents = 20000;
+  TraceCollector::Get().SetRingCapacity(64);  // force wraps under load
+  uint64_t dropped_before = TraceCollector::Get().dropped();
+  std::atomic<bool> done{false};
+  size_t drained = 0;
+  uint32_t worker_tid = 0;
+  std::thread worker([&] {
+    for (int i = 0; i < kEvents; ++i) {
+      TraceCollector::Get().RecordInstant("log", "hammer");
+    }
+    done.store(true);
+  });
+  auto consume = [&] {
+    for (const TraceRecord& r : TraceCollector::Get().Drain()) {
+      drained++;
+      worker_tid = r.tid;
+    }
+  };
+  while (!done.load()) {
+    consume();
+  }
+  worker.join();
+  consume();
+  uint64_t dropped = TraceCollector::Get().dropped() - dropped_before;
+  EXPECT_EQ(drained + dropped, static_cast<uint64_t>(kEvents));
+  EXPECT_NE(worker_tid, 0u);
+}
+
+#if defined(IMPELLER_TRACING_ENABLED)
+TEST_F(TraceTest, MacrosRecordWhenCompiledIn) {
+  {
+    TRACE_SPAN("kv", "write_batch");
+    TRACE_INSTANT("protocol", "barrier");
+  }
+  auto records = TraceCollector::Get().Drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_STREQ(records[0].name, "barrier");
+  EXPECT_STREQ(records[1].name, "write_batch");
+}
+#else
+TEST_F(TraceTest, MacrosCompileToNothingWhenDisabled) {
+  {
+    TRACE_SPAN("kv", "write_batch");
+    TRACE_INSTANT("protocol", "barrier");
+  }
+  EXPECT_TRUE(TraceCollector::Get().Drain().empty());
+}
+#endif
+
+TEST(TraceExportTest, ChromeEventJsonGolden) {
+  TraceRecord span;
+  span.category = "log";
+  span.name = "append";
+  span.start_ns = 1000;
+  span.end_ns = 3500;
+  span.tid = 1;
+  span.depth = 0;
+  EXPECT_EQ(ChromeTraceEventJson(span),
+            "{\"name\":\"append\",\"cat\":\"log\",\"ph\":\"X\","
+            "\"ts\":1.000,\"dur\":2.500,\"pid\":1,\"tid\":1,"
+            "\"args\":{\"depth\":0}}");
+
+  TraceRecord instant;
+  instant.category = "protocol";
+  instant.name = "commit_event";
+  instant.start_ns = instant.end_ns = 4000;
+  instant.tid = 2;
+  instant.depth = 1;
+  instant.instant = true;
+  EXPECT_EQ(ChromeTraceEventJson(instant),
+            "{\"name\":\"commit_event\",\"cat\":\"protocol\",\"ph\":\"i\","
+            "\"ts\":4.000,\"s\":\"t\",\"pid\":1,\"tid\":2,"
+            "\"args\":{\"depth\":1}}");
+}
+
+TEST(TraceExportTest, EscapesControlAndQuoteCharacters) {
+  TraceRecord r;
+  r.category = "log";
+  r.name = "we\"ird\\n\name";
+  r.start_ns = 0;
+  r.end_ns = 1;
+  std::string json = ChromeTraceEventJson(r);
+  EXPECT_NE(json.find("we\\\"ird\\\\n\\u000aame"), std::string::npos);
+}
+
+TEST(TraceExportTest, GoldenFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/impeller_trace_test.json";
+  std::vector<TraceRecord> records;
+  TraceRecord a;
+  a.category = "log";
+  a.name = "append";
+  a.start_ns = 1000;
+  a.end_ns = 3500;
+  a.tid = 1;
+  records.push_back(a);
+  TraceRecord b;
+  b.category = "task";
+  b.name = "process_record";
+  b.start_ns = 2000;
+  b.end_ns = 2100;
+  b.tid = 1;
+  b.depth = 1;
+  records.push_back(b);
+  ASSERT_TRUE(WriteChromeTrace(path, records).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(content,
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+            "{\"name\":\"append\",\"cat\":\"log\",\"ph\":\"X\","
+            "\"ts\":1.000,\"dur\":2.500,\"pid\":1,\"tid\":1,"
+            "\"args\":{\"depth\":0}},\n"
+            "{\"name\":\"process_record\",\"cat\":\"task\",\"ph\":\"X\","
+            "\"ts\":2.000,\"dur\":0.100,\"pid\":1,\"tid\":1,"
+            "\"args\":{\"depth\":1}}"
+            "]}\n");
+}
+
+TEST(TraceExportTest, WriterRejectsMisuse) {
+  ChromeTraceWriter writer;
+  EXPECT_FALSE(writer.Append({}).ok());
+  EXPECT_TRUE(writer.Close().ok());  // closing a never-opened writer is a noop
+  EXPECT_FALSE(writer.Open("/nonexistent-dir/zzz/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace impeller
