@@ -20,6 +20,11 @@
 //                           full MetricsRegistry snapshot incl. the
 //                           "log/*" shared-log counters)
 //   IMPELLER_TRACE_RING     per-thread trace ring capacity (default 8192)
+//   IMPELLER_BENCH_SEED     master seed (default 7); the --seed=N flag
+//                           (parsed by InitBench) takes precedence. One
+//                           seed drives the NEXMark generator, the
+//                           calibrated latency models, and any fault
+//                           schedules, so a run replays bit-for-bit.
 #ifndef IMPELLER_BENCH_BENCH_COMMON_H_
 #define IMPELLER_BENCH_BENCH_COMMON_H_
 
@@ -27,6 +32,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -48,6 +54,37 @@ inline double EnvSeconds(const char* name, double fallback) {
 }
 
 inline bool FastMode() { return std::getenv("IMPELLER_BENCH_FAST") != nullptr; }
+
+inline uint64_t& MutableBenchSeed() {
+  static uint64_t seed = [] {
+    const char* v = std::getenv("IMPELLER_BENCH_SEED");
+    return v != nullptr ? std::strtoull(v, nullptr, 10) : 7ull;
+  }();
+  return seed;
+}
+
+// The master seed every bench derives from: generator, latency models,
+// fault schedules. Set by --seed / IMPELLER_BENCH_SEED.
+inline uint64_t BenchSeed() { return MutableBenchSeed(); }
+
+// Parses and strips "--seed=N" / "--seed N" from argv so every bench binary
+// shares one seed flag — google-benchmark binaries call this *before*
+// benchmark::Initialize, which rejects unknown flags.
+inline void InitBench(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      MutableBenchSeed() = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < *argc) {
+      MutableBenchSeed() = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;
+  *argc = out;
+}
 
 inline double MeasureSeconds() {
   double s = EnvSeconds("IMPELLER_BENCH_SECONDS", 3.0);
@@ -248,7 +285,8 @@ inline NexmarkQueryOptions ScaledQueryOptions(const RunConfig& config) {
 }
 
 // Runs one (system, query, rate) point and reports sink latency.
-inline RunResult RunPoint(const RunConfig& config, uint64_t seed = 7) {
+inline RunResult RunPoint(const RunConfig& config,
+                          uint64_t seed = BenchSeed()) {
   BenchObs::Instance().OnRunStart();
   Engine engine(MakeEngineOptions(config, seed));
   auto plan = BuildNexmarkQuery(config.query, ScaledQueryOptions(config));

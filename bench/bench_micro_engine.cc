@@ -4,6 +4,8 @@
 // generator.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "src/common/serde.h"
 #include "src/core/commit_tracker.h"
 #include "src/core/marker.h"
@@ -170,4 +172,15 @@ BENCHMARK(BM_NexmarkGenerate);
 }  // namespace
 }  // namespace impeller
 
-BENCHMARK_MAIN();
+// Strip the shared --seed flag before google-benchmark sees argv: it
+// rejects flags it does not know.
+int main(int argc, char** argv) {
+  impeller::bench::InitBench(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,8 @@
 // selective reads, conditional appends, and trim.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "src/obs/trace.h"
 #include "src/sharedlog/partitioned_log.h"
 #include "src/sharedlog/shared_log.h"
@@ -54,7 +56,7 @@ void BM_SharedLogAppendBatch(benchmark::State& state) {
       r.tags = {"t"};
       r.payload = "payload-100-bytes-";
     }
-    benchmark::DoNotOptimize(log.AppendBatch(std::move(reqs)));
+    benchmark::DoNotOptimize(log.AppendBatch(reqs));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
 }
@@ -151,4 +153,15 @@ BENCHMARK(BM_MetaIncrement);
 }  // namespace
 }  // namespace impeller
 
-BENCHMARK_MAIN();
+// Strip the shared --seed flag before google-benchmark sees argv: it
+// rejects flags it does not know.
+int main(int argc, char** argv) {
+  impeller::bench::InitBench(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

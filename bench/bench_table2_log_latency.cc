@@ -134,4 +134,7 @@ int Main() {
 }  // namespace bench
 }  // namespace impeller
 
-int main() { return impeller::bench::Main(); }
+int main(int argc, char** argv) {
+  impeller::bench::InitBench(&argc, argv);
+  return impeller::bench::Main();
+}

@@ -33,7 +33,7 @@ RecoveryOutcome RunOnce(double rate, bool checkpointing, double run_sec) {
   config.tasks_per_stage = 2;
   config.snapshot_interval = 2 * kSecond;  // scaled from the paper's 10 s
 
-  EngineOptions options = MakeEngineOptions(config, 21);
+  EngineOptions options = MakeEngineOptions(config, BenchSeed());
   options.config.enable_checkpointing = checkpointing;
   Engine engine(std::move(options));
   auto plan = BuildNexmarkQuery(8, ScaledQueryOptions(config));
@@ -43,6 +43,7 @@ RecoveryOutcome RunOnce(double rate, bool checkpointing, double run_sec) {
   NexmarkDriverOptions driver_options;
   driver_options.events_per_sec = rate;
   driver_options.flush_interval = 100 * kMillisecond;
+  driver_options.seed = BenchSeed();
   auto driver = NexmarkDriver::Create(&engine, 8, driver_options);
   if (!driver.ok()) {
     return {};
@@ -136,4 +137,7 @@ int Main() {
 }  // namespace bench
 }  // namespace impeller
 
-int main() { return impeller::bench::Main(); }
+int main(int argc, char** argv) {
+  impeller::bench::InitBench(&argc, argv);
+  return impeller::bench::Main();
+}

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "src/common/clock.h"
+#include "src/common/retry.h"
 
 namespace impeller {
 
@@ -56,6 +57,10 @@ struct EngineConfig {
   // Garbage collection.
   bool enable_gc = false;
   DurationNs gc_interval = 5 * kSecond;
+
+  // Backoff for log-client appends on transient kUnavailable failures
+  // (tasks, ingress producers, protocol coordinators).
+  RetryPolicy retry;
 
   // Whether sinks append results to an egress stream (paper measures
   // latency at emission from the output operator, before the push).

@@ -46,9 +46,9 @@ Result<std::unique_ptr<IngressProducer>> Engine::NewProducer(
   if (spec == nullptr || !spec->external) {
     return InvalidArgumentError(stream + " is not an ingress stream");
   }
-  return std::make_unique<IngressProducer>(log_.get(), std::move(producer_id),
-                                           std::move(stream),
-                                           spec->num_substreams, clock_);
+  return std::make_unique<IngressProducer>(
+      log_.get(), std::move(producer_id), std::move(stream),
+      spec->num_substreams, clock_, options_.config.retry, &metrics_);
 }
 
 Result<std::unique_ptr<EgressConsumer>> Engine::NewEgressConsumer(
@@ -76,12 +76,14 @@ Result<std::unique_ptr<EgressConsumer>> Engine::NewEgressConsumer(
 
 IngressProducer::IngressProducer(SharedLog* log, std::string producer_id,
                                  std::string stream, uint32_t num_substreams,
-                                 Clock* clock)
+                                 Clock* clock, RetryPolicy retry,
+                                 MetricsRegistry* metrics)
     : log_(log),
       producer_id_(std::move(producer_id)),
       stream_(std::move(stream)),
       num_substreams_(num_substreams),
       clock_(clock),
+      retrier_(retry, Fnv1a(producer_id_), clock, metrics),
       pending_(num_substreams) {}
 
 void IngressProducer::Send(std::string key, std::string value,
@@ -115,15 +117,17 @@ Result<size_t> IngressProducer::Flush() {
     if (batch.empty()) {
       continue;
     }
-    size_t n = batch.size();
-    auto lsns = log_->AppendBatch(std::move(batch));
-    batch.clear();
+    auto lsns = retrier_.Run("ingress_flush",
+                             [&] { return log_->AppendBatch(batch); });
     if (!lsns.ok()) {
+      // AppendBatch left this batch intact; it (and every later substream's
+      // batch) stays buffered for the caller's next Flush.
       return lsns.status();
     }
-    flushed += n;
+    flushed += batch.size();
+    pending_count_ -= batch.size();
+    batch.clear();
   }
-  pending_count_ = 0;
   return flushed;
 }
 

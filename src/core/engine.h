@@ -80,12 +80,17 @@ class Engine {
 class IngressProducer {
  public:
   IngressProducer(SharedLog* log, std::string producer_id,
-                  std::string stream, uint32_t num_substreams, Clock* clock);
+                  std::string stream, uint32_t num_substreams, Clock* clock,
+                  RetryPolicy retry = {}, MetricsRegistry* metrics = nullptr);
 
   // Buffers one record. event_time 0 = now.
   void Send(std::string key, std::string value, TimeNs event_time = 0);
 
-  // Appends all buffered records. Returns the number appended.
+  // Appends all buffered records. Returns the number appended. On a
+  // transient failure (retries exhausted) the unflushed substream batches
+  // stay buffered: a later Flush re-issues them with their original
+  // sequence numbers, and §3.5 duplicate suppression absorbs any batch the
+  // log durably appended but failed to acknowledge.
   Result<size_t> Flush();
 
   size_t buffered() const;
@@ -102,6 +107,7 @@ class IngressProducer {
   std::string stream_;
   uint32_t num_substreams_;
   Clock* clock_;
+  Retrier retrier_;
   uint64_t seq_ = 0;
   std::vector<std::vector<AppendRequest>> pending_;  // per substream
   size_t pending_count_ = 0;

@@ -2,8 +2,9 @@
 
 namespace impeller {
 
-OutputBuffer::OutputBuffer(SharedLog* log, size_t capacity_bytes)
-    : log_(log), capacity_bytes_(capacity_bytes) {}
+OutputBuffer::OutputBuffer(SharedLog* log, size_t capacity_bytes,
+                           Retrier* retrier)
+    : log_(log), capacity_bytes_(capacity_bytes), retrier_(retrier) {}
 
 void OutputBuffer::Add(Kind kind, AppendRequest request) {
   pending_bytes_ += request.payload.size();
@@ -20,12 +21,25 @@ Result<OutputBuffer::FlushResult> OutputBuffer::Flush() {
   for (auto& [kind, req] : pending_) {
     batch.push_back(std::move(req));
   }
-  auto lsns = log_->AppendBatch(std::move(batch));
+  // AppendBatch consumes the requests only on success, so retrying (or
+  // restoring the buffer on failure) needs no copies.
+  auto lsns = retrier_ != nullptr
+                  ? retrier_->Run("output_flush",
+                                  [&] { return log_->AppendBatch(batch); })
+                  : log_->AppendBatch(batch);
   if (!lsns.ok()) {
-    // A fenced flush means this task instance is a zombie: the buffered
-    // records are dead weight, drop them and surface the error.
-    pending_.clear();
-    pending_bytes_ = 0;
+    if (lsns.status().code() == StatusCode::kFenced) {
+      // A fenced flush means this task instance is a zombie: the buffered
+      // records are dead weight, drop them and surface the error.
+      pending_.clear();
+      pending_bytes_ = 0;
+    } else {
+      // Transient failure (retries exhausted): keep the records buffered so
+      // a later Flush re-issues the identical batch.
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        pending_[i].second = std::move(batch[i]);
+      }
+    }
     return lsns.status();
   }
   for (size_t i = 0; i < pending_.size(); ++i) {

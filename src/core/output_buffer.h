@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/common/status.h"
 #include "src/sharedlog/shared_log.h"
 
@@ -16,7 +17,11 @@ namespace impeller {
 
 class OutputBuffer {
  public:
-  OutputBuffer(SharedLog* log, size_t capacity_bytes);
+  // `retrier` (optional, unowned) absorbs transient kUnavailable append
+  // failures; without one a transient failure propagates but the buffered
+  // records survive for a later Flush.
+  OutputBuffer(SharedLog* log, size_t capacity_bytes,
+               Retrier* retrier = nullptr);
 
   enum class Kind { kOutput, kChangeLog };
 
@@ -35,12 +40,14 @@ class OutputBuffer {
 
   // Appends all pending records as one batch. Blocks for the modeled append
   // ack. A fenced conditional append propagates as kFenced with the buffer
-  // intact (the caller is a zombie and must stop).
+  // dropped (the caller is a zombie and must stop); any other failure keeps
+  // the buffer intact for retry.
   Result<FlushResult> Flush();
 
  private:
   SharedLog* log_;
   size_t capacity_bytes_;
+  Retrier* retrier_;
   std::vector<std::pair<Kind, AppendRequest>> pending_;
   size_t pending_bytes_ = 0;
 };

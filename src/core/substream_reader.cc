@@ -128,6 +128,14 @@ Result<size_t> SubstreamReader::Poll(size_t max_new,
       }
       return entry.status();  // kTrimmed or internal errors propagate
     }
+    if (entry->lsn < next_lsn_) {
+      // Redelivered duplicate below the cursor (fault-injected lost-ack
+      // refetch). The record was already handled; in read-committed mode it
+      // would not pass the seq-dedup filter again, so drop it here for all
+      // modes. Counts toward `consumed` to keep the poll loop bounded.
+      ++consumed;
+      continue;
+    }
     next_lsn_ = entry->lsn + 1;
     ++consumed;
     auto env = DecodeEnvelope(entry->payload);

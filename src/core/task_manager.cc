@@ -27,6 +27,8 @@ Status TaskManager::Submit(QueryPlan plan) {
   if (config_.protocol == ProtocolKind::kKafkaTxn) {
     TxnCoordinatorOptions opts;
     opts.name = plan_.name;
+    opts.metrics = metrics_;
+    opts.retry = config_.retry;
     txn_coordinator_ = std::make_unique<TxnCoordinator>(log_, clock_, opts);
     txn_coordinator_->Start();
   }
@@ -34,6 +36,8 @@ Status TaskManager::Submit(QueryPlan plan) {
     BarrierCoordinatorOptions opts;
     opts.query = plan_.name;
     opts.interval = config_.commit_interval;
+    opts.metrics = metrics_;
+    opts.retry = config_.retry;
     barrier_coordinator_ = std::make_unique<BarrierCoordinator>(
         log_, checkpoint_store_, clock_, opts);
     std::vector<std::string> ingress_tags;

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/common/serde.h"
 #include "src/core/stream.h"
+#include "src/fault/fault.h"
 #include "src/obs/trace.h"
 #include "src/protocols/barrier_coordinator.h"
 #include "src/protocols/txn_coordinator.h"
@@ -58,7 +59,11 @@ TaskRuntime::TaskRuntime(TaskWiring wiring)
                           wiring_.index)),
       tracker_(wiring_.config.protocol == ProtocolKind::kProgressMarking ||
                wiring_.config.protocol == ProtocolKind::kKafkaTxn),
-      output_buffer_(wiring_.log, wiring_.config.output_buffer_bytes) {
+      retrier_(wiring_.config.retry,
+               wiring_.instance * 0x9E3779B97F4A7C15ull + wiring_.index,
+               wiring_.clock, wiring_.metrics),
+      output_buffer_(wiring_.log, wiring_.config.output_buffer_bytes,
+                     &retrier_) {
   uses_markers_ = tracker_.read_committed();
   capture_changes_ = uses_markers_ && wiring_.stage->stateful;
 }
@@ -498,12 +503,36 @@ Status TaskRuntime::MaybeFlush(bool force) {
     txn_inflight_ = {};
     IMPELLER_RETURN_IF_ERROR(st);
   }
+  if (MaybeInjectCrash("task/flush/pre")) {
+    return UnavailableError("injected crash before flush");
+  }
   TRACE_SPAN("task", "flush");
   auto result = output_buffer_.Flush();
   if (!result.ok()) {
     return result.status();
   }
-  return ApplyFlushResult(*result);
+  IMPELLER_RETURN_IF_ERROR(ApplyFlushResult(*result));
+  if (MaybeInjectCrash("task/flush/post")) {
+    // The flush is durable in the log but no marker covers it yet: the
+    // restarted instance re-executes the epoch and commit filtering (or
+    // egress seq-dedup) must hide the orphaned records.
+    return UnavailableError("injected crash after flush");
+  }
+  return OkStatus();
+}
+
+bool TaskRuntime::MaybeInjectCrash(const char* point) {
+  if (auto f = IMPELLER_FAULT_PROBE(point, task_id_, fault::kNoLsn)) {
+    if (f.kind == fault::FaultKind::kCrash) {
+      LOG_INFO << task_id_ << ": injected crash at " << point;
+      Crash();
+      return true;
+    }
+    if (f.kind == fault::FaultKind::kDelay) {
+      wiring_.clock->SleepFor(f.delay);
+    }
+  }
+  return false;
 }
 
 Status TaskRuntime::Commit() {
@@ -528,6 +557,11 @@ Status TaskRuntime::CommitProgressMarking() {
   }
   TRACE_SPAN("protocol", "commit_marker");
   IMPELLER_RETURN_IF_ERROR(MaybeFlush(true));
+  if (MaybeInjectCrash("task/commit/pre_marker")) {
+    // Outputs are durable but the marker is not: the epoch is uncommitted
+    // and must be re-executed by the replacement instance.
+    return UnavailableError("injected crash before marker append");
+  }
 
   ProgressMarker marker;
   marker.marker_seq = marker_seq_;
@@ -547,9 +581,21 @@ Status TaskRuntime::CommitProgressMarking() {
   req.cond_value = wiring_.instance;
   req.payload = EncodeEnvelope(header, EncodeProgressMarker(marker));
 
-  auto lsn = wiring_.log->Append(std::move(req));
-  if (!lsn.ok()) {
-    return lsn.status();  // kFenced: this instance is a zombie
+  // Retried through the batch API: AppendBatch leaves the request intact on
+  // transient failure, so a retry re-appends the identical marker.
+  std::vector<AppendRequest> marker_batch;
+  marker_batch.push_back(std::move(req));
+  auto lsns = retrier_.Run(
+      "marker_append", [&] { return wiring_.log->AppendBatch(marker_batch); });
+  if (!lsns.ok()) {
+    return lsns.status();  // kFenced: this instance is a zombie
+  }
+  Lsn marker_lsn = (*lsns)[0];
+  if (MaybeInjectCrash("task/commit/post_marker")) {
+    // The marker is durable but this instance dies before acknowledging it:
+    // the replacement recovers exactly to this marker's cut and resumes —
+    // the committed-but-unacked case of §3.3.4.
+    return UnavailableError("injected crash after marker append");
   }
   markers_written_.fetch_add(1);
   ++marker_seq_;
@@ -559,7 +605,7 @@ Status TaskRuntime::CommitProgressMarking() {
   epoch_dirty_ = false;
   epoch_touched_tags_.clear();
   if (wiring_.gc != nullptr) {
-    wiring_.gc->PublishFloor(task_id_ + "/marker", *lsn);
+    wiring_.gc->PublishFloor(task_id_ + "/marker", marker_lsn);
   }
   PublishGcFloors();
   return OkStatus();
@@ -692,6 +738,12 @@ Status TaskRuntime::CompleteAlignment() {
   }
   IMPELLER_RETURN_IF_ERROR(wiring_.checkpoint_store->Put(
       AlignedSnapshotKey(task_id_, id), EncodeSnapshot(sections)));
+  if (MaybeInjectCrash("task/checkpoint/mid")) {
+    // Snapshot stored but barriers never forwarded: the round times out at
+    // the coordinator, downstream unblocks on the next round's barriers, and
+    // recovery falls back to the last *completed* checkpoint.
+    return UnavailableError("injected crash mid-checkpoint");
+  }
 
   // Forward the barrier to every downstream substream (not egress: nothing
   // aligns there).
@@ -721,7 +773,8 @@ Status TaskRuntime::CompleteAlignment() {
     }
   }
   if (!batch.empty()) {
-    auto lsns = wiring_.log->AppendBatch(std::move(batch));
+    auto lsns = retrier_.Run(
+        "barrier_forward", [&] { return wiring_.log->AppendBatch(batch); });
     if (!lsns.ok()) {
       return lsns.status();
     }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/core/checkpoint.h"
 #include "src/core/commit_tracker.h"
 #include "src/core/config.h"
@@ -129,6 +130,16 @@ class TaskRuntime final : public OperatorContext {
   Status MaybeFlush(bool force);
   Status ApplyFlushResult(const OutputBuffer::FlushResult& result);
 
+  // Fault probe at a named crash point. A kCrash action marks the task
+  // crashed (the run loop exits without flushing, as if the server died) and
+  // returns true; a kDelay action stalls the task here. Points:
+  //   task/flush/pre        before an output-buffer flush
+  //   task/flush/post       flush durable, epoch bookkeeping not yet updated
+  //   task/commit/pre_marker  outputs flushed, marker not yet appended
+  //   task/commit/post_marker marker durable, commit not yet acknowledged
+  //   task/checkpoint/mid   snapshot stored, barriers not yet forwarded
+  bool MaybeInjectCrash(const char* point);
+
   Status Commit();
   Status CommitProgressMarking();
   Status CommitKafkaTxn();
@@ -186,6 +197,7 @@ class TaskRuntime final : public OperatorContext {
   };
   std::vector<PendingBarrier> pending_barriers_;
 
+  Retrier retrier_;  // declared before output_buffer_, which borrows it
   OutputBuffer output_buffer_;
   uint64_t out_seq_ = 0;
   uint64_t marker_seq_ = 1;

@@ -1,0 +1,121 @@
+#include "src/fault/fault.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/obs/trace.h"
+
+namespace impeller {
+namespace fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::vector<FaultSchedule> schedules, uint64_t seed,
+                        MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedules_.clear();
+  schedules_.reserve(schedules.size());
+  for (auto& spec : schedules) {
+    ArmedSchedule armed;
+    armed.spec = std::move(spec);
+    schedules_.push_back(std::move(armed));
+  }
+  rng_.Seed(seed);
+  metrics_ = metrics;
+  fires_.clear();
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  schedules_.clear();
+  metrics_ = nullptr;
+}
+
+FaultAction FaultInjector::Evaluate(const char* point, std::string_view detail,
+                                    uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) {
+    return {};  // lost the race with Disarm()
+  }
+  for (ArmedSchedule& armed : schedules_) {
+    const FaultSchedule& spec = armed.spec;
+    if (spec.point != point) {
+      continue;
+    }
+    if (!spec.detail_substr.empty() &&
+        detail.find(spec.detail_substr) == std::string_view::npos) {
+      continue;
+    }
+    armed.hits++;
+    if (spec.max_fires > 0 && armed.fires >= spec.max_fires) {
+      continue;
+    }
+    bool fire = false;
+    if (spec.probability > 0.0) {
+      fire = rng_.NextBool(spec.probability);
+    } else if (spec.every_n > 0) {
+      fire = (armed.hits % spec.every_n) == 0;
+    } else if (spec.at_hit > 0) {
+      fire = armed.hits == spec.at_hit;
+    } else if (spec.at_lsn != kNoLsn) {
+      fire = lsn != kNoLsn && lsn >= spec.at_lsn;
+    }
+    if (!fire) {
+      continue;
+    }
+    armed.fires++;
+    fires_[spec.point]++;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("fault/fires")->Add();
+      metrics_->GetCounter("fault/" + spec.point)->Add();
+    }
+    TRACE_INSTANT("fault", point);
+    LOG_DEBUG << "fault: fired " << FaultKindName(spec.kind) << " at " << point
+              << " (detail=" << std::string(detail)
+              << " hits=" << armed.hits << ")";
+    FaultAction action;
+    action.kind = spec.kind;
+    action.delay = spec.delay;
+    return action;
+  }
+  return {};
+}
+
+uint64_t FaultInjector::FireCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fires_.find(point);
+  return it == fires_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [point, count] : fires_) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace fault
+}  // namespace impeller

@@ -1,0 +1,160 @@
+// Fault-injection subsystem (DESIGN.md §"Fault model"): a process-wide
+// FaultInjector with named injection points, a seeded RNG, and declarative
+// FaultSchedules. Instrumented sites — the shared log's append/read paths,
+// the checkpoint store's write path, the task runtime's commit/flush/
+// checkpoint phases, and both protocol coordinators — probe the injector and
+// apply whatever action it returns: a simulated crash, a transient
+// kUnavailable error, an added latency spike, or a duplicate redelivery.
+//
+// Faults are what the paper's exactly-once argument (§3.3-§3.5) is *about*;
+// because the log, store, and tasks are simulated in-process, injecting at
+// these seams produces exactly the failure modes a distributed deployment
+// would see (lost acks, zombie writers, redelivered records, crashed
+// workers) while keeping every run reproducible from one seed.
+//
+// Usage at an injection point (the point name MUST be a string literal —
+// trace records and counters keep the pointer / build names from it):
+//
+//   if (auto f = IMPELLER_FAULT_PROBE("log/append", options_.name, lsn)) {
+//     if (f.kind == fault::FaultKind::kError) {
+//       return UnavailableError("injected append failure");
+//     }
+//     ...
+//   }
+//
+// When the IMPELLER_FAULT_INJECTION CMake option is OFF the macro expands to
+// an empty constant and the whole branch folds away — mirroring
+// IMPELLER_TRACING. When ON but disarmed, a probe costs one relaxed atomic
+// load.
+#ifndef IMPELLER_SRC_FAULT_FAULT_H_
+#define IMPELLER_SRC_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+
+namespace impeller {
+namespace fault {
+
+// LSN value meaning "no log position for this hit".
+constexpr uint64_t kNoLsn = ~0ull;
+
+enum class FaultKind {
+  kNone = 0,
+  kCrash,      // site simulates a task/coordinator crash
+  kError,      // site returns a transient kUnavailable
+  kDelay,      // site sleeps `delay` before proceeding
+  kDuplicate,  // log read path redelivers the current record once more
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  DurationNs delay = 0;  // kDelay only
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+// One declarative injection rule. A schedule matches a hit when the point
+// name is equal and (if non-empty) `detail_substr` occurs in the hit's
+// detail string; whether a matching hit *fires* is decided by the trigger.
+struct FaultSchedule {
+  std::string point;              // injection-point name, exact match
+  FaultKind kind = FaultKind::kError;
+  std::string detail_substr;      // substring filter on the hit detail
+
+  // Trigger — the first set field (in this order) decides:
+  //   probability > 0   fire i.i.d. with this probability per matching hit
+  //   every_n > 0       fire on every Nth matching hit
+  //   at_hit > 0        fire once, at the at_hit-th matching hit
+  //   at_lsn != kNoLsn  fire once the hit's lsn reaches at_lsn
+  double probability = 0.0;
+  uint64_t every_n = 0;
+  uint64_t at_hit = 0;
+  uint64_t at_lsn = kNoLsn;
+
+  uint64_t max_fires = 1;  // 0 = unlimited
+  DurationNs delay = kMillisecond;  // injected latency for kDelay
+};
+
+// Process-wide injector. Arm() installs a schedule set with a seed; every
+// decision thereafter is a pure function of (seed, hit sequence), so a
+// failing chaos run replays from its printed seed. Disarm() must be called
+// before the MetricsRegistry passed to Arm() is destroyed.
+class FaultInjector {
+ public:
+  static FaultInjector& Get();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Replaces all schedules, reseeds the RNG, resets per-point fire counts,
+  // and enables injection. `metrics` (optional) receives "fault/<point>"
+  // and "fault/fires" counters.
+  void Arm(std::vector<FaultSchedule> schedules, uint64_t seed,
+           MetricsRegistry* metrics = nullptr);
+
+  // Disables injection, clears schedules, and detaches the registry.
+  // Cumulative fire counts survive until the next Arm().
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Slow path behind Probe(): matches `point`/`detail` against the armed
+  // schedules and returns the first firing schedule's action.
+  FaultAction Evaluate(const char* point, std::string_view detail,
+                       uint64_t lsn);
+
+  // Cumulative fires for one point / across all points since the last Arm().
+  uint64_t FireCount(std::string_view point) const;
+  uint64_t TotalFires() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedSchedule {
+    FaultSchedule spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::vector<ArmedSchedule> schedules_;
+  Rng rng_{1};
+  MetricsRegistry* metrics_ = nullptr;
+  std::map<std::string, uint64_t, std::less<>> fires_;
+};
+
+// Fast-path wrapper: one relaxed load when disarmed.
+inline FaultAction Probe(const char* point, std::string_view detail,
+                         uint64_t lsn = kNoLsn) {
+  FaultInjector& injector = FaultInjector::Get();
+  if (!injector.armed()) {
+    return {};
+  }
+  return injector.Evaluate(point, detail, lsn);
+}
+
+}  // namespace fault
+}  // namespace impeller
+
+#if defined(IMPELLER_FAULT_INJECTION_ENABLED)
+#define IMPELLER_FAULT_PROBE(point, detail, lsn) \
+  ::impeller::fault::Probe(point, detail, lsn)
+#else
+// Arguments are not evaluated; the empty action constant-folds every
+// `if (auto f = IMPELLER_FAULT_PROBE(...))` branch away.
+#define IMPELLER_FAULT_PROBE(point, detail, lsn) \
+  (::impeller::fault::FaultAction{})
+#endif  // IMPELLER_FAULT_INJECTION_ENABLED
+
+#endif  // IMPELLER_SRC_FAULT_FAULT_H_

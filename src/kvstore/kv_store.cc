@@ -8,6 +8,7 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/serde.h"
+#include "src/fault/fault.h"
 #include "src/obs/trace.h"
 
 namespace impeller {
@@ -153,6 +154,18 @@ Status KvStore::WriteBatch(std::vector<KvWriteOp> ops) {
   // Covers the WAL append plus the modeled synchronous remote-write wait —
   // the cost aligned checkpointing pays per snapshot (§5.3.3).
   TRACE_SPAN("kv", "write_batch");
+  // Fault probe: a transient store error aborts the write before any state
+  // changes (checkpoint paths abandon the snapshot and retry later); a delay
+  // widens the window in which a fenced-off zombie can race a checkpoint.
+  if (auto f = IMPELLER_FAULT_PROBE("kv/write", ops.front().key,
+                                    fault::kNoLsn)) {
+    if (f.kind == fault::FaultKind::kError) {
+      return UnavailableError("injected kv write failure");
+    }
+    if (f.kind == fault::FaultKind::kDelay) {
+      clock_->SleepFor(f.delay);
+    }
+  }
   size_t bytes = 0;
   for (const auto& op : ops) {
     bytes += op.key.size() + (op.value ? op.value->size() : 0);

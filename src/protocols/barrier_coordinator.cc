@@ -5,6 +5,7 @@
 #include "src/core/commit_tracker.h"
 #include "src/core/marker.h"
 #include "src/core/record.h"
+#include "src/fault/fault.h"
 #include "src/obs/trace.h"
 
 namespace impeller {
@@ -22,7 +23,8 @@ BarrierCoordinator::BarrierCoordinator(SharedLog* log,
                                        Clock* clock,
                                        BarrierCoordinatorOptions options)
     : log_(log), store_(checkpoint_store), clock_(clock),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      retrier_(options_.retry, options_.seed, clock_, options_.metrics) {}
 
 BarrierCoordinator::~BarrierCoordinator() { Stop(); }
 
@@ -50,6 +52,20 @@ void BarrierCoordinator::Stop() {
 
 Status BarrierCoordinator::InjectBarriers(uint64_t checkpoint_id) {
   TRACE_SPAN("protocol", "inject_barriers");
+  // Fault probe: a coordinator failure here just skips this round — no task
+  // ever sees checkpoint_id, the Loop logs and moves on to the next
+  // interval (Flink's coordinator-failover behavior, minus the re-election
+  // delay).
+  if (auto f = IMPELLER_FAULT_PROBE("barrier/inject", options_.query,
+                                    checkpoint_id)) {
+    if (f.kind == fault::FaultKind::kCrash ||
+        f.kind == fault::FaultKind::kError) {
+      return UnavailableError("injected barrier-injection failure");
+    }
+    if (f.kind == fault::FaultKind::kDelay) {
+      clock_->SleepFor(f.delay);
+    }
+  }
   // One barrier record per ingress substream: Kafka/Flink have no atomic
   // multi-partition append, so the baseline does not get one either. The
   // per-substream appends share one batch ack (parallel producer requests).
@@ -70,7 +86,8 @@ Status BarrierCoordinator::InjectBarriers(uint64_t checkpoint_id) {
   if (batch.empty()) {
     return InvalidArgumentError("no ingress substreams configured");
   }
-  auto lsns = log_->AppendBatch(std::move(batch));
+  auto lsns = retrier_.Run("barrier_inject",
+                           [&] { return log_->AppendBatch(batch); });
   if (!lsns.ok()) {
     return lsns.status();
   }

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/retry.h"
 #include "src/common/status.h"
 #include "src/common/threading.h"
 #include "src/kvstore/kv_store.h"
@@ -29,6 +31,10 @@ struct BarrierCoordinatorOptions {
   std::string query;
   DurationNs interval = 100 * kMillisecond;
   DurationNs ack_timeout = 10 * kSecond;
+  // Optional: retry/* counters for barrier-injection appends.
+  MetricsRegistry* metrics = nullptr;
+  RetryPolicy retry;
+  uint64_t seed = 17;
 };
 
 class BarrierCoordinator {
@@ -66,6 +72,7 @@ class BarrierCoordinator {
   KvStore* store_;
   Clock* clock_;
   BarrierCoordinatorOptions options_;
+  Retrier retrier_;
 
   std::vector<std::string> ingress_substreams_;
   std::vector<std::string> task_ids_;

@@ -3,6 +3,7 @@
 #include "src/common/logging.h"
 #include "src/core/record.h"
 #include "src/core/stream.h"
+#include "src/fault/fault.h"
 #include "src/obs/trace.h"
 
 namespace impeller {
@@ -12,7 +13,9 @@ TxnCoordinator::TxnCoordinator(SharedLog* log, Clock* clock,
     : log_(log),
       clock_(clock),
       options_(std::move(options)),
-      rng_(options_.seed) {
+      rng_(options_.seed),
+      retrier_(options_.retry, options_.seed ^ 0xC0FFEEULL, clock_,
+               options_.metrics) {
   txn_stream_tag_ = "x/" + options_.name;
 }
 
@@ -57,9 +60,12 @@ Status TxnCoordinator::AppendTxnStream(TxnControlKind kind, uint64_t txn_id,
   AppendRequest req;
   req.tags.push_back(txn_stream_tag_);
   req.payload = EncodeEnvelope(header, EncodeTxnControlBody(body));
-  auto lsn = log_->Append(std::move(req));
-  if (!lsn.ok()) {
-    return lsn.status();
+  std::vector<AppendRequest> batch;
+  batch.push_back(std::move(req));
+  auto lsns =
+      retrier_.Run("txn_stream_append", [&] { return log_->AppendBatch(batch); });
+  if (!lsns.ok()) {
+    return lsns.status();
   }
   return OkStatus();
 }
@@ -80,6 +86,15 @@ Result<std::shared_future<Status>> TxnCoordinator::CommitTransaction(
   if (current.ok() && *current != request.instance) {
     return FencedError("instance " + std::to_string(request.instance) +
                        " superseded by " + std::to_string(*current));
+  }
+  // Fault probe: a delay here widens the race between this epoch check and
+  // the conditional phase-2 appends — a replacement instance minted in the
+  // gap must still fence this zombie at the log (the appends are conditional
+  // on the instance key, so correctness never rests on this check).
+  if (auto f = IMPELLER_FAULT_PROBE("txn/fence_check", request.task_id,
+                                    fault::kNoLsn);
+      f.kind == fault::FaultKind::kDelay) {
+    clock_->SleepFor(f.delay);
   }
 
   // Phase one, step 1: register written streams with the coordinator.
@@ -116,6 +131,23 @@ void TxnCoordinator::WorkerLoop() {
     PendingTxn& txn = **item;
     const TxnRequest& req = txn.request;
     TRACE_SPAN("protocol", "txn_phase2");
+
+    // Fault probe: the coordinator dies (or errors) before writing any
+    // commit record — the transaction aborts cleanly and the task's next
+    // commit re-covers the epoch.
+    if (auto f = IMPELLER_FAULT_PROBE("txn/phase2", req.task_id,
+                                      fault::kNoLsn)) {
+      if (f.kind == fault::FaultKind::kCrash ||
+          f.kind == fault::FaultKind::kError) {
+        LOG_INFO << "txn " << txn.txn_id << ": injected phase-2 abort";
+        txn.done.set_value(
+            UnavailableError("injected coordinator failure in phase 2"));
+        continue;
+      }
+      if (f.kind == fault::FaultKind::kDelay) {
+        clock_->SleepFor(f.delay);
+      }
+    }
 
     // Phase two: one commit control record per registered substream. The
     // commit record on the task-log substream carries the input ends used
@@ -155,11 +187,27 @@ void TxnCoordinator::WorkerLoop() {
       append.payload = EncodeEnvelope(header, EncodeTxnControlBody(body));
       batch.push_back(std::move(append));
     }
-    auto lsns = log_->AppendBatch(std::move(batch));
+    auto lsns = retrier_.Run("txn_phase2_append",
+                             [&] { return log_->AppendBatch(batch); });
     if (!lsns.ok()) {
       LOG_WARN << "txn " << txn.txn_id << " phase 2 failed: "
                << lsns.status().ToString();
       txn.done.set_value(lsns.status());
+      continue;
+    }
+    // Fault probe: the coordinator dies after the commit records are durable
+    // but before acknowledging — the classic 2PC ambiguity. Downstream
+    // consumers already see the transaction as committed; the task observes
+    // a failure, restarts, and recovers to the committed cut on its task
+    // log, so the epoch is NOT re-executed.
+    if (auto f = IMPELLER_FAULT_PROBE("txn/post_commit", req.task_id,
+                                      fault::kNoLsn);
+        f.kind == fault::FaultKind::kCrash ||
+        f.kind == fault::FaultKind::kError) {
+      LOG_INFO << "txn " << txn.txn_id << ": injected post-commit failure";
+      committed_.fetch_add(1);
+      txn.done.set_value(
+          UnavailableError("injected coordinator failure after commit"));
       continue;
     }
     Status final = AppendTxnStream(TxnControlKind::kTxnCommitted, txn.txn_id,

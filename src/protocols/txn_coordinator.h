@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/common/queue.h"
+#include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/threading.h"
@@ -40,6 +42,9 @@ struct TxnCoordinatorOptions {
   DurationNs rpc_median = 300 * kMicrosecond;
   double rpc_sigma = 0.3;
   uint64_t seed = 42;
+  // Optional: retry/* counters for the coordinator's log appends.
+  MetricsRegistry* metrics = nullptr;
+  RetryPolicy retry;
 };
 
 struct TxnRequest {
@@ -90,6 +95,7 @@ class TxnCoordinator {
 
   std::mutex rng_mu_;
   Rng rng_;
+  Retrier retrier_;
 
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> committed_{0};

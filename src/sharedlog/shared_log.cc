@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/fault/fault.h"
 #include "src/obs/trace.h"
 
 namespace impeller {
@@ -45,7 +46,7 @@ SharedLog::SharedLog(SharedLogOptions options)
 Result<Lsn> SharedLog::Append(AppendRequest req) {
   std::vector<AppendRequest> batch;
   batch.push_back(std::move(req));
-  auto lsns = AppendBatchInternal(std::move(batch));
+  auto lsns = AppendBatchInternal(batch);
   if (!lsns.ok()) {
     return lsns.status();
   }
@@ -53,15 +54,15 @@ Result<Lsn> SharedLog::Append(AppendRequest req) {
 }
 
 Result<std::vector<Lsn>> SharedLog::AppendBatch(
-    std::vector<AppendRequest> reqs) {
+    std::vector<AppendRequest>& reqs) {
   if (reqs.empty()) {
     return InvalidArgumentError("empty append batch");
   }
-  return AppendBatchInternal(std::move(reqs));
+  return AppendBatchInternal(reqs);
 }
 
 Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
-    std::vector<AppendRequest> reqs) {
+    std::vector<AppendRequest>& reqs) {
   TRACE_SPAN("log", "append");
   TimeNs start = clock_->Now();
   size_t batch_bytes = 0;
@@ -70,10 +71,25 @@ Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
   }
 
   LatencySample latency;
+  DurationNs injected_ack_delay = 0;
   std::vector<Lsn> lsns;
   lsns.reserve(reqs.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Fault probe before any mutation: a transient append error (lost
+    // quorum, leader failover) rejects the whole batch with the requests
+    // untouched, so the caller's retry re-issues identical records.
+    if (auto f = IMPELLER_FAULT_PROBE("log/append", options_.name,
+                                      next_lsn_)) {
+      if (f.kind == fault::FaultKind::kError) {
+        TRACE_INSTANT("log", "append_unavailable");
+        return UnavailableError("injected append failure on " +
+                                options_.name);
+      }
+      if (f.kind == fault::FaultKind::kDelay) {
+        injected_ack_delay = f.delay;  // ack-latency spike, applied below
+      }
+    }
     // Fencing check is atomic with LSN assignment: a zombie racing with the
     // task manager's MetaIncrement is linearized here.
     for (const auto& r : reqs) {
@@ -122,7 +138,7 @@ Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
     // between this child span and the parent's end is exactly the modeled
     // ack round trip the protocols pay per sequential append.
     TRACE_SPAN("log", "append_ack_wait");
-    clock_->SleepFor(latency.ack);
+    clock_->SleepFor(latency.ack + injected_ack_delay);
   }
   return lsns;
 }
@@ -148,11 +164,40 @@ const SharedLog::InternalRecord* SharedLog::SlotLocked(Lsn lsn) const {
   return &records_[lsn - base_lsn_];
 }
 
+// Caller holds mu_. Serves (and clears) a fault-injected pending duplicate
+// for `tag`: the record was already returned once, and is handed out again
+// as if the consumer had re-fetched after a lost ack. Only a reader whose
+// cursor has passed the record gets it — redelivery duplicates data, it must
+// never let a reader skip ahead. Returns nullptr when no duplicate is due or
+// the record has since been trimmed.
+const SharedLog::InternalRecord* SharedLog::TakePendingDuplicateLocked(
+    std::string_view tag, Lsn from_lsn) {
+  auto it = dup_pending_.find(std::string(tag));
+  if (it == dup_pending_.end() || it->second >= from_lsn) {
+    return nullptr;
+  }
+  Lsn lsn = it->second;
+  dup_pending_.erase(it);
+  return SlotLocked(lsn);
+}
+
+// Caller holds mu_. Fault probe on a successful tag read; a kDuplicate
+// action arms redelivery of `lsn` on the next read of `tag`.
+void SharedLog::MaybeArmDuplicateLocked(std::string_view tag, Lsn lsn) {
+  if (auto f = IMPELLER_FAULT_PROBE("log/read", tag, lsn);
+      f.kind == fault::FaultKind::kDuplicate) {
+    dup_pending_[std::string(tag)] = lsn;
+  }
+}
+
 Result<LogEntry> SharedLog::ReadNext(std::string_view tag, Lsn from_lsn) {
   TRACE_SPAN("log", "read_next");
   Bump(counters_.reads);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.reads++;
+  if (const InternalRecord* dup = TakePendingDuplicateLocked(tag, from_lsn)) {
+    return dup->entry;
+  }
   if (auto it = tag_trimmed_high_.find(std::string(tag));
       it != tag_trimmed_high_.end() && from_lsn <= it->second) {
     // The cursor provably points at a record of this tag that was garbage
@@ -170,6 +215,7 @@ Result<LogEntry> SharedLog::ReadNext(std::string_view tag, Lsn from_lsn) {
   if (rec->entry.visible_time > clock_->Now()) {
     return NotFoundError("next record not yet visible");
   }
+  MaybeArmDuplicateLocked(tag, lsn);
   return rec->entry;
 }
 
@@ -181,6 +227,10 @@ Result<LogEntry> SharedLog::AwaitNext(std::string_view tag, Lsn from_lsn,
   std::unique_lock<std::mutex> lock(mu_);
   stats_.reads++;
   while (true) {
+    if (const InternalRecord* dup =
+            TakePendingDuplicateLocked(tag, from_lsn)) {
+      return dup->entry;
+    }
     if (auto it = tag_trimmed_high_.find(std::string(tag));
         it != tag_trimmed_high_.end() && from_lsn <= it->second) {
       return TrimmedError("cursor at/below trimmed tag record");
@@ -191,6 +241,7 @@ Result<LogEntry> SharedLog::AwaitNext(std::string_view tag, Lsn from_lsn,
       const InternalRecord* rec = SlotLocked(lsn);
       assert(rec != nullptr);
       if (rec->entry.visible_time <= now) {
+        MaybeArmDuplicateLocked(tag, lsn);
         return rec->entry;
       }
       if (now >= deadline) {
@@ -276,6 +327,9 @@ Status SharedLog::Trim(Lsn new_trim_point) {
   }
   stats_.trims++;
   stats_.records_trimmed += dropped;
+  // Readers blocked in AwaitNext below the new trim point must observe
+  // kTrimmed now, not after their visibility/deadline wait expires.
+  cv_.notify_all();
   return OkStatus();
 }
 

@@ -66,8 +66,11 @@ class SharedLog {
 
   // Appends a batch atomically in arrival order with one shared ack latency
   // (models the 128 KiB output buffer flush, §5.3). If any conditional
-  // check fails the whole batch is rejected with kFenced.
-  Result<std::vector<Lsn>> AppendBatch(std::vector<AppendRequest> reqs);
+  // check fails the whole batch is rejected with kFenced. Consumes the
+  // requests (payloads are moved out) only on success; on any failure —
+  // fencing, injected kUnavailable — `reqs` is left intact so callers can
+  // retry the same batch without copying.
+  Result<std::vector<Lsn>> AppendBatch(std::vector<AppendRequest>& reqs);
 
   // Selective read: the first record tagged `tag` with lsn >= from_lsn.
   // Returns records strictly in LSN order per tag: if the next matching
@@ -120,8 +123,13 @@ class SharedLog {
   // Caller holds mu_. Slot for an LSN, or nullptr if trimmed/out of range.
   const InternalRecord* SlotLocked(Lsn lsn) const;
 
+  // Fault-injection support (see dup_pending_). Callers hold mu_.
+  const InternalRecord* TakePendingDuplicateLocked(std::string_view tag,
+                                                   Lsn from_lsn);
+  void MaybeArmDuplicateLocked(std::string_view tag, Lsn lsn);
+
   Result<std::vector<Lsn>> AppendBatchInternal(
-      std::vector<AppendRequest> reqs);
+      std::vector<AppendRequest>& reqs);
 
   // Pre-resolved "log/*" counters mirroring SharedLogStats; all nullptr when
   // no registry was configured.
@@ -148,6 +156,11 @@ class SharedLog {
   // Highest LSN ever trimmed per tag: a cursor at or below this value has
   // provably missed records and must observe kTrimmed.
   std::unordered_map<std::string, Lsn> tag_trimmed_high_;
+  // Fault injection (kDuplicate on "log/read"): LSN of a record already
+  // returned for this tag that the next read should deliver again. Models a
+  // consumer reconnecting after a lost ack and re-fetching from its previous
+  // cursor.
+  std::unordered_map<std::string, Lsn> dup_pending_;
   std::unordered_map<std::string, uint64_t> metadata_;
   TimeNs last_append_time_ = 0;
   SharedLogStats stats_;

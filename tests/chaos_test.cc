@@ -1,0 +1,306 @@
+// Chaos harness: runs NEXMark Q1 under seeded adversarial fault schedules —
+// append-ack delay spikes, transient kUnavailable appends, duplicate
+// redeliveries, checkpoint-store hiccups, and crashes at every
+// protocol-critical point — and asserts that the *committed* output is
+// byte-identical to a fault-free run of the same input. This is the paper's
+// exactly-once claim (§3.3-§3.5) under test: markers, fencing, duplicate
+// suppression, and recovery must together make faults invisible in the
+// committed stream.
+//
+// Every run is reproducible: the schedule set and every injection decision
+// derive from one seed, printed on failure. Re-run a single failure with
+// the same seed by filtering the test and reading the logged seed.
+//
+// kUnsafe gets only the benign schedules (delays, bounded transient errors,
+// duplicates — no crashes): without progress tracking a crash legitimately
+// loses state, which is Fig. 9's point, not a harness failure.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/retry.h"
+#include "src/fault/fault.h"
+#include "src/nexmark/events.h"
+#include "src/nexmark/queries.h"
+#include "tests/test_util.h"
+
+namespace impeller {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultSchedule;
+
+constexpr uint32_t kTasksPerStage = 2;
+constexpr size_t kNumEvents = 120;
+constexpr uint64_t kNumChaosSeeds = 8;
+constexpr TimeNs kEventTimeBase = 1'000'000'000;  // synthetic, deterministic
+
+EngineConfig ChaosConfig(ProtocolKind protocol) {
+  EngineConfig config = testutil::FastConfig(protocol);
+  // Crashed tasks must come back on their own, quickly.
+  config.auto_restart = true;
+  config.heartbeat_interval = 10 * kMillisecond;
+  config.failure_timeout = 250 * kMillisecond;
+  config.snapshot_interval = 150 * kMillisecond;
+  return config;
+}
+
+// Deterministic bid stream: unique price and date_time per event, auction
+// ids spread across substreams. Both the baseline and every chaos run feed
+// exactly this sequence.
+std::vector<Bid> MakeBids() {
+  std::vector<Bid> bids;
+  bids.reserve(kNumEvents);
+  for (size_t i = 0; i < kNumEvents; ++i) {
+    Bid bid;
+    bid.auction = 1000 + i % 37;
+    bid.bidder = i;
+    bid.price = 100 + static_cast<int64_t>(i) * 7;
+    bid.channel = "chaos";
+    bid.url = "https://bid/" + std::to_string(i);
+    bid.date_time = kEventTimeBase + static_cast<TimeNs>(i) * kMillisecond;
+    bids.push_back(std::move(bid));
+  }
+  return bids;
+}
+
+// Crash points exercised per protocol — each protocol's own critical
+// sections (ISSUE: marker append, txn phase 2 / post-commit ambiguity,
+// checkpoint + barrier rounds), plus the output-flush edges all share.
+std::vector<std::string> CrashPoints(ProtocolKind protocol) {
+  switch (protocol) {
+    case ProtocolKind::kProgressMarking:
+      return {"task/commit/pre_marker", "task/commit/post_marker",
+              "task/flush/pre", "task/flush/post"};
+    case ProtocolKind::kKafkaTxn:
+      return {"task/flush/pre", "task/flush/post", "txn/phase2",
+              "txn/post_commit"};
+    case ProtocolKind::kAlignedCheckpoint:
+      return {"task/flush/pre", "task/flush/post", "task/checkpoint/mid",
+              "barrier/inject"};
+    case ProtocolKind::kUnsafe:
+      return {};
+  }
+  return {};
+}
+
+// Derives one adversarial schedule set from (protocol, seed). Benign
+// schedules (delay spikes, bounded transient errors, duplicate redelivery,
+// checkpoint-store hiccups) apply to every protocol; crash schedules hit
+// two seed-chosen protocol-critical points. Transient-error fire caps stay
+// below RetryPolicy::max_attempts so errors alone can never exhaust a
+// retry loop — errors test the Retrier, crashes test recovery.
+std::vector<FaultSchedule> DeriveSchedules(ProtocolKind protocol,
+                                           uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull +
+          static_cast<uint64_t>(protocol) * 0x100000001B3ull);
+  std::vector<FaultSchedule> out;
+
+  {
+    // Append-ack delay spikes. every_n guarantees fires (appends are
+    // plentiful), so every chaos run provably injected something.
+    FaultSchedule s;
+    s.point = "log/append";
+    s.kind = FaultKind::kDelay;
+    s.delay = static_cast<DurationNs>(rng.NextRange(1, 4)) * kMillisecond;
+    s.every_n = static_cast<uint64_t>(rng.NextRange(20, 40));
+    s.max_fires = 3;
+    out.push_back(s);
+  }
+  {
+    // Transient append unavailability, absorbed by the Retrier.
+    FaultSchedule s;
+    s.point = "log/append";
+    s.kind = FaultKind::kError;
+    s.every_n = static_cast<uint64_t>(rng.NextRange(15, 30));
+    s.max_fires = static_cast<uint64_t>(rng.NextRange(2, 3));
+    out.push_back(s);
+  }
+  {
+    // Duplicate redelivery on the bid input path.
+    FaultSchedule s;
+    s.point = "log/read";
+    s.kind = FaultKind::kDuplicate;
+    s.detail_substr = "bids";
+    s.every_n = static_cast<uint64_t>(rng.NextRange(25, 60));
+    s.max_fires = 2;
+    out.push_back(s);
+  }
+  {
+    // Checkpoint-store write hiccup. Only a delay for kUnsafe: an error
+    // there can escalate to a restart, which unsafe legitimately loses
+    // data over.
+    FaultSchedule s;
+    s.point = "kv/write";
+    s.kind = protocol != ProtocolKind::kUnsafe && rng.NextDouble() < 0.5
+                 ? FaultKind::kError
+                 : FaultKind::kDelay;
+    s.delay = 2 * kMillisecond;
+    s.every_n = static_cast<uint64_t>(rng.NextRange(2, 5));
+    s.max_fires = 2;
+    out.push_back(s);
+  }
+
+  std::vector<std::string> points = CrashPoints(protocol);
+  if (!points.empty()) {
+    size_t first = rng.NextBounded(points.size());
+    size_t second =
+        (first + 1 + rng.NextBounded(points.size() - 1)) % points.size();
+    for (size_t idx : {first, second}) {
+      FaultSchedule s;
+      s.point = points[idx];
+      s.kind = FaultKind::kCrash;
+      s.at_hit = static_cast<uint64_t>(rng.NextRange(1, 6));
+      s.max_fires = 1;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+// Canonicalizes the committed egress: one line per committed record,
+// sorted. Cross-substream interleaving is nondeterministic even fault-free,
+// so lines sort; everything else — which records committed, their keys,
+// values, event times, and multiplicity — must match byte-for-byte.
+Result<std::vector<std::string>> CollectCommitted(Engine& engine) {
+  std::vector<std::string> lines;
+  for (uint32_t sub = 0; sub < kTasksPerStage; ++sub) {
+    auto consumer = engine.NewEgressConsumer("convert", sub);
+    if (!consumer.ok()) {
+      return consumer.status();
+    }
+    auto records = (*consumer)->PollAll();
+    if (!records.ok()) {
+      return records.status();
+    }
+    for (const auto& r : *records) {
+      auto bid = DecodeBid(r.data.value);
+      if (!bid.ok()) {
+        return bid.status();
+      }
+      lines.push_back(r.data.key + "|" + std::to_string(bid->price) + "|" +
+                      std::to_string(bid->date_time / kMillisecond));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+size_t DistinctCommitted(Engine& engine) {
+  auto lines = CollectCommitted(engine);
+  if (!lines.ok()) {
+    return 0;
+  }
+  return std::set<std::string>(lines->begin(), lines->end()).size();
+}
+
+struct ChaosOutcome {
+  std::vector<std::string> lines;
+  uint64_t fault_fires = 0;
+  uint64_t retry_attempts = 0;
+  uint64_t retry_retries = 0;
+};
+
+// One full Q1 run: submit, feed the fixed bid stream in bursts (faults
+// armed), disarm, wait for the committed output to converge, stop, read.
+Result<ChaosOutcome> RunQ1(ProtocolKind protocol, uint64_t seed,
+                           std::vector<FaultSchedule> schedules) {
+  EngineOptions options;
+  options.config = ChaosConfig(protocol);
+  options.name = "chaos";
+  Engine engine(std::move(options));
+
+  NexmarkQueryOptions query_options;
+  query_options.tasks_per_stage = kTasksPerStage;
+  auto plan = BuildNexmarkQuery(1, query_options);
+  IMPELLER_RETURN_IF_ERROR(plan.status());
+  IMPELLER_RETURN_IF_ERROR(engine.Submit(std::move(*plan)));
+  auto producer = engine.NewProducer("chaos-gen", "bids");
+  IMPELLER_RETURN_IF_ERROR(producer.status());
+
+  Clock* clock = engine.clock();
+  std::vector<Bid> bids = MakeBids();
+  {
+    testutil::FaultArmGuard arm(std::move(schedules), seed,
+                                engine.metrics());
+    for (size_t start = 0; start < bids.size(); start += 40) {
+      size_t end = std::min(start + 40, bids.size());
+      for (size_t i = start; i < end; ++i) {
+        (*producer)->Send(std::to_string(bids[i].auction),
+                          EncodeBid(bids[i]), bids[i].date_time);
+      }
+      IMPELLER_RETURN_IF_ERROR(
+          testutil::FlushUntilDrained(**producer, clock));
+      // Let commits, crashes, and restarts interleave with the feed.
+      clock->SleepFor(15 * kMillisecond);
+    }
+    // Give armed crash schedules whose at_hit has not been reached a last
+    // few commit rounds to fire mid-stream.
+    clock->SleepFor(100 * kMillisecond);
+  }  // disarm: recovery now runs fault-free
+
+  ChaosOutcome outcome;
+  outcome.fault_fires = FaultInjector::Get().TotalFires();
+  outcome.retry_attempts =
+      engine.metrics()->GetCounter("retry/attempts")->Get();
+  outcome.retry_retries = engine.metrics()->GetCounter("retry/retries")->Get();
+
+  // Convergence: every input must eventually commit exactly once; restarts
+  // after the last crash take up to failure_timeout plus replay.
+  testutil::WaitFor([&] { return DistinctCommitted(engine) >= kNumEvents; },
+                    30 * kSecond);
+  engine.Stop();
+
+  auto lines = CollectCommitted(engine);
+  IMPELLER_RETURN_IF_ERROR(lines.status());
+  outcome.lines = std::move(*lines);
+  return outcome;
+}
+
+class ChaosTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ChaosTest, CommittedOutputIsIdenticalToFaultFreeRun) {
+#if !defined(IMPELLER_FAULT_INJECTION_ENABLED)
+  GTEST_SKIP() << "built with IMPELLER_FAULT_INJECTION=OFF";
+#else
+  ProtocolKind protocol = GetParam();
+
+  auto baseline = RunQ1(protocol, /*seed=*/0, {});
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->lines.size(), kNumEvents)
+      << "fault-free run must commit every input exactly once";
+
+  for (uint64_t seed = 1; seed <= kNumChaosSeeds; ++seed) {
+    SCOPED_TRACE("protocol=" + std::string(ProtocolKindName(protocol)) +
+                 " chaos seed=" + std::to_string(seed) +
+                 " (replay: same seed reproduces the schedule set and every "
+                 "injection decision)");
+    auto run = RunQ1(protocol, seed, DeriveSchedules(protocol, seed));
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_GT(run->fault_fires, 0u)
+        << "schedule set for seed " << seed << " never fired";
+    EXPECT_EQ(run->lines, baseline->lines);
+  }
+#endif
+}
+
+std::string ProtocolTestName(
+    const ::testing::TestParamInfo<ProtocolKind>& info) {
+  std::string name = ProtocolKindName(info.param);
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ChaosTest,
+                         ::testing::Values(ProtocolKind::kProgressMarking,
+                                           ProtocolKind::kKafkaTxn,
+                                           ProtocolKind::kAlignedCheckpoint,
+                                           ProtocolKind::kUnsafe),
+                         ProtocolTestName);
+
+}  // namespace
+}  // namespace impeller

@@ -1,0 +1,345 @@
+// Unit tests for the fault-injection subsystem: schedule trigger semantics,
+// seeded determinism, counters, the RetryPolicy/Retrier backoff loop, and
+// the SharedLog injection points (append errors/delays, duplicate
+// redelivery).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/retry.h"
+#include "src/fault/fault.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace impeller {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultSchedule;
+
+// Every test disarms on exit: the injector is process-wide and must never
+// leak schedules into a neighboring test.
+struct DisarmGuard {
+  ~DisarmGuard() { FaultInjector::Get().Disarm(); }
+};
+
+#if defined(IMPELLER_FAULT_INJECTION_ENABLED)
+
+TEST(FaultInjectorTest, EveryNFiresOnEveryNthMatchingHit) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.kind = FaultKind::kError;
+  s.every_n = 3;
+  s.max_fires = 0;  // unlimited
+  FaultInjector::Get().Arm({s}, /*seed=*/1);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(static_cast<bool>(fault::Probe("p", "d")));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(FaultInjector::Get().FireCount("p"), 3u);
+  EXPECT_EQ(FaultInjector::Get().TotalFires(), 3u);
+}
+
+TEST(FaultInjectorTest, AtHitFiresExactlyOnce) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.kind = FaultKind::kCrash;
+  s.at_hit = 4;
+  FaultInjector::Get().Arm({s}, 1);
+
+  for (int i = 1; i <= 10; ++i) {
+    auto action = fault::Probe("p", "d");
+    if (i == 4) {
+      EXPECT_EQ(action.kind, FaultKind::kCrash) << "hit " << i;
+    } else {
+      EXPECT_EQ(action.kind, FaultKind::kNone) << "hit " << i;
+    }
+  }
+  EXPECT_EQ(FaultInjector::Get().TotalFires(), 1u);
+}
+
+TEST(FaultInjectorTest, AtLsnFiresWhenLsnReached) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.kind = FaultKind::kError;
+  s.at_lsn = 7;
+  FaultInjector::Get().Arm({s}, 1);
+
+  EXPECT_FALSE(fault::Probe("p", "d", 3));
+  EXPECT_FALSE(fault::Probe("p", "d", 6));
+  EXPECT_TRUE(fault::Probe("p", "d", 9));   // first hit at/past the LSN
+  EXPECT_FALSE(fault::Probe("p", "d", 9));  // max_fires=1 caps it
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsFiring) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.every_n = 1;  // would fire on every hit
+  s.max_fires = 2;
+  FaultInjector::Get().Arm({s}, 1);
+
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fault::Probe("p", "d")) {
+      ++fires;
+    }
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(FaultInjectorTest, DetailSubstrFiltersHits) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.detail_substr = "task-1";
+  s.every_n = 1;
+  s.max_fires = 0;
+  FaultInjector::Get().Arm({s}, 1);
+
+  EXPECT_FALSE(fault::Probe("p", "task-0"));
+  EXPECT_TRUE(fault::Probe("p", "task-1"));
+  EXPECT_TRUE(fault::Probe("p", "worker/task-1/x"));  // substring match
+  EXPECT_FALSE(fault::Probe("q", "task-1"));          // point is exact match
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.probability = 0.5;
+  s.max_fires = 0;
+
+  auto pattern = [&](uint64_t seed) {
+    FaultInjector::Get().Arm({s}, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 100; ++i) {
+      fired.push_back(static_cast<bool>(fault::Probe("p", "d")));
+    }
+    return fired;
+  };
+
+  auto a1 = pattern(42);
+  auto a2 = pattern(42);
+  auto b = pattern(43);
+  EXPECT_EQ(a1, a2) << "same seed must replay the same fault sequence";
+  EXPECT_NE(a1, b) << "different seeds must diverge";
+}
+
+TEST(FaultInjectorTest, DelayActionCarriesConfiguredDelay) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.kind = FaultKind::kDelay;
+  s.delay = 7 * kMillisecond;
+  s.every_n = 1;
+  FaultInjector::Get().Arm({s}, 1);
+
+  auto action = fault::Probe("p", "d");
+  EXPECT_EQ(action.kind, FaultKind::kDelay);
+  EXPECT_EQ(action.delay, 7 * kMillisecond);
+}
+
+TEST(FaultInjectorTest, DisarmStopsFiringAndArmResetsCounts) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "p";
+  s.every_n = 1;
+  s.max_fires = 0;
+  FaultInjector::Get().Arm({s}, 1);
+  EXPECT_TRUE(fault::Probe("p", "d"));
+  EXPECT_EQ(FaultInjector::Get().TotalFires(), 1u);
+
+  FaultInjector::Get().Disarm();
+  EXPECT_FALSE(FaultInjector::Get().armed());
+  EXPECT_FALSE(fault::Probe("p", "d"));
+  // Fire counts survive Disarm (post-mortem inspection)...
+  EXPECT_EQ(FaultInjector::Get().TotalFires(), 1u);
+  // ...and reset on the next Arm.
+  FaultInjector::Get().Arm({s}, 1);
+  EXPECT_EQ(FaultInjector::Get().TotalFires(), 0u);
+}
+
+TEST(FaultInjectorTest, FiresAreMirroredIntoMetrics) {
+  DisarmGuard guard;
+  MetricsRegistry metrics;
+  FaultSchedule s;
+  s.point = "log/append";
+  s.every_n = 1;
+  s.max_fires = 0;
+  FaultInjector::Get().Arm({s}, 1, &metrics);
+
+  for (int i = 0; i < 3; ++i) {
+    (void)fault::Probe("log/append", "log");
+  }
+  FaultInjector::Get().Disarm();
+
+  EXPECT_EQ(metrics.GetCounter("fault/fires")->Get(), 3u);
+  EXPECT_EQ(metrics.GetCounter("fault/log/append")->Get(), 3u);
+}
+
+TEST(FaultInjectorTest, InjectedAppendErrorIsAbsorbedByRetrier) {
+  DisarmGuard guard;
+  MetricsRegistry metrics;
+  FaultSchedule s;
+  s.point = "log/append";
+  s.kind = FaultKind::kError;
+  s.every_n = 1;
+  s.max_fires = 2;  // first two attempts fail, third succeeds
+  FaultInjector::Get().Arm({s}, 1, &metrics);
+
+  SharedLog log;
+  RetryPolicy policy;
+  policy.initial_backoff = 10 * kMicrosecond;
+  Retrier retrier(policy, /*seed=*/7, nullptr, &metrics);
+
+  std::vector<AppendRequest> batch(1);
+  batch[0].tags = {"a"};
+  batch[0].payload = "hello";
+  auto lsns = retrier.Run("test_append", [&] { return log.AppendBatch(batch); });
+  ASSERT_TRUE(lsns.ok()) << lsns.status().ToString();
+  FaultInjector::Get().Disarm();
+
+  auto entry = log.ReadAt((*lsns)[0]);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->payload, "hello");
+  EXPECT_EQ(metrics.GetCounter("retry/attempts")->Get(), 3u);
+  EXPECT_EQ(metrics.GetCounter("retry/retries")->Get(), 2u);
+  EXPECT_EQ(metrics.GetCounter("retry/exhausted")->Get(), 0u);
+}
+
+TEST(FaultInjectorTest, InjectedReadDuplicateRedeliversOnce) {
+  DisarmGuard guard;
+  SharedLog log;
+  for (int i = 0; i < 3; ++i) {
+    AppendRequest req;
+    req.tags = {"a"};
+    req.payload = "p" + std::to_string(i);
+    ASSERT_TRUE(log.Append(std::move(req)).ok());
+  }
+
+  // Fire on the 2nd successful read of tag "a": record 1 is redelivered to
+  // the next read whose cursor has already passed it.
+  FaultSchedule s;
+  s.point = "log/read";
+  s.kind = FaultKind::kDuplicate;
+  s.detail_substr = "a";
+  s.at_hit = 2;
+  FaultInjector::Get().Arm({s}, 1);
+
+  std::vector<Lsn> seen;
+  Lsn cursor = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto entry = log.ReadNext("a", cursor);
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    seen.push_back(entry->lsn);
+    cursor = std::max(cursor, entry->lsn + 1);
+  }
+  EXPECT_EQ(seen, (std::vector<Lsn>{0, 1, 1, 2}));
+
+  // A redelivery must never make a fresh reader skip ahead: with another
+  // duplicate pending, a cursor at 0 still reads record 0 first.
+  FaultSchedule again = s;
+  again.at_hit = 1;
+  FaultInjector::Get().Arm({again}, 1);
+  auto first = log.ReadNext("a", 2);  // arms a duplicate of record 2
+  ASSERT_TRUE(first.ok());
+  auto fresh = log.ReadNext("a", 0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->lsn, 0u);
+}
+
+TEST(FaultInjectorTest, InjectedAppendDelaySlowsAck) {
+  DisarmGuard guard;
+  FaultSchedule s;
+  s.point = "log/append";
+  s.kind = FaultKind::kDelay;
+  s.delay = 30 * kMillisecond;
+  s.every_n = 1;
+  FaultInjector::Get().Arm({s}, 1);
+
+  SharedLog log;
+  Clock* clock = MonotonicClock::Get();
+  TimeNs start = clock->Now();
+  AppendRequest req;
+  req.tags = {"a"};
+  req.payload = "p";
+  ASSERT_TRUE(log.Append(std::move(req)).ok());
+  EXPECT_GE(clock->Now() - start, 25 * kMillisecond);
+}
+
+#endif  // IMPELLER_FAULT_INJECTION_ENABLED
+
+// --- Retrier semantics (independent of the injector build flag). ---
+
+RetryPolicy FastPolicy(int max_attempts = 5) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff = 10 * kMicrosecond;
+  policy.max_backoff = 100 * kMicrosecond;
+  return policy;
+}
+
+TEST(RetrierTest, RetriesTransientFailureUntilSuccess) {
+  MetricsRegistry metrics;
+  Retrier retrier(FastPolicy(), 1, nullptr, &metrics);
+  int calls = 0;
+  Status status = retrier.Run("op", [&] {
+    return ++calls < 3 ? UnavailableError("transient") : OkStatus();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(metrics.GetCounter("retry/attempts")->Get(), 3u);
+  EXPECT_EQ(metrics.GetCounter("retry/retries")->Get(), 2u);
+  EXPECT_EQ(metrics.GetCounter("retry/exhausted")->Get(), 0u);
+}
+
+TEST(RetrierTest, DoesNotRetryFencedWriters) {
+  MetricsRegistry metrics;
+  Retrier retrier(FastPolicy(), 1, nullptr, &metrics);
+  int calls = 0;
+  Status status = retrier.Run("op", [&] {
+    ++calls;
+    return FencedError("zombie");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kFenced);
+  EXPECT_EQ(calls, 1) << "fenced writers must not fight their replacement";
+  EXPECT_EQ(metrics.GetCounter("retry/retries")->Get(), 0u);
+}
+
+TEST(RetrierTest, GivesUpAfterMaxAttempts) {
+  MetricsRegistry metrics;
+  Retrier retrier(FastPolicy(/*max_attempts=*/3), 1, nullptr, &metrics);
+  int calls = 0;
+  Status status = retrier.Run("op", [&] {
+    ++calls;
+    return UnavailableError("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(metrics.GetCounter("retry/exhausted")->Get(), 1u);
+}
+
+TEST(RetrierTest, SupportsResultReturningOperations) {
+  Retrier retrier(FastPolicy(), 1);
+  int calls = 0;
+  Result<int> result = retrier.Run("op", [&]() -> Result<int> {
+    if (++calls < 2) {
+      return UnavailableError("transient");
+    }
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace impeller

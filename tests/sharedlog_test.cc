@@ -92,7 +92,7 @@ TEST(SharedLogTest, BatchAppendIsContiguousAndAllOrNothing) {
   fenced.cond_key = "inst/t1";
   fenced.cond_value = 4;
   batch.push_back(std::move(fenced));
-  auto lsns = log.AppendBatch(std::move(batch));
+  auto lsns = log.AppendBatch(batch);
   ASSERT_FALSE(lsns.ok());
   EXPECT_EQ(lsns.status().code(), StatusCode::kFenced);
   EXPECT_EQ(log.TailLsn(), 0u) << "fenced batch must not append anything";
@@ -101,11 +101,66 @@ TEST(SharedLogTest, BatchAppendIsContiguousAndAllOrNothing) {
   for (int i = 0; i < 5; ++i) {
     ok_batch.push_back(Req({"a"}, std::to_string(i)));
   }
-  auto ok = log.AppendBatch(std::move(ok_batch));
+  auto ok = log.AppendBatch(ok_batch);
   ASSERT_TRUE(ok.ok());
   for (size_t i = 0; i < ok->size(); ++i) {
     EXPECT_EQ((*ok)[i], i);
   }
+}
+
+TEST(SharedLogTest, RejectedBatchLeavesRequestsIntactForRetry) {
+  // AppendBatch's retry contract: on any failure the requests are untouched
+  // (payloads not moved out), so a caller can re-issue the identical batch —
+  // here after the fencing condition is repaired.
+  SharedLog log;
+  log.MetaPut("inst/t1", 5);
+  std::vector<AppendRequest> batch;
+  batch.push_back(Req({"a"}, "payload-a"));
+  AppendRequest cond = Req({"b"}, "payload-b");
+  cond.cond_key = "inst/t1";
+  cond.cond_value = 4;
+  batch.push_back(std::move(cond));
+
+  ASSERT_EQ(log.AppendBatch(batch).status().code(), StatusCode::kFenced);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].payload, "payload-a");
+  EXPECT_EQ(batch[1].payload, "payload-b");
+  EXPECT_EQ(batch[1].cond_key, "inst/t1");
+
+  log.MetaPut("inst/t1", 4);
+  auto ok = log.AppendBatch(batch);
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok->size(), 2u);
+  auto got = log.ReadNext("b", 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload, "payload-b");
+}
+
+TEST(SharedLogTest, TrimWakesBlockedAwaitNext) {
+  // A reader blocked in AwaitNext on a record still in delivery must learn
+  // about a concurrent Trim immediately, not after the delivery wait runs
+  // out. The delivery latency is far beyond the assertion bound, so a fast
+  // kTrimmed return is only explainable by Trim's wakeup.
+  CalibratedLatencyParams params;
+  params.ack_median = 1 * kMillisecond;
+  params.ack_sigma = 0.01;
+  params.delivery_median = 5 * kSecond;
+  params.delivery_sigma = 0.01;
+  SharedLogOptions opts;
+  opts.latency = std::make_shared<CalibratedLatencyModel>(params, 1);
+  SharedLog log(std::move(opts));
+
+  ASSERT_TRUE(log.Append(Req({"a"}, "slow")).ok());
+  TimeNs t0 = MonotonicClock::Get()->Now();
+  JoiningThread trimmer([&log] {
+    MonotonicClock::Get()->SleepFor(50 * kMillisecond);
+    ASSERT_TRUE(log.Trim(1).ok());
+  });
+  auto got = log.AwaitNext("a", 0, 10 * kSecond);
+  TimeNs elapsed = MonotonicClock::Get()->Now() - t0;
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kTrimmed);
+  EXPECT_LT(elapsed, 2 * kSecond);
 }
 
 TEST(SharedLogTest, ReadLastReturnsNewest) {

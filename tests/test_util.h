@@ -7,12 +7,42 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/serde.h"
 #include "src/core/engine.h"
+#include "src/fault/fault.h"
 
 namespace impeller {
 namespace testutil {
+
+// Arms the process-wide fault injector for one scope. Always declare it
+// *after* the Engine whose MetricsRegistry it feeds: the destructor disarms
+// (detaching the registry) before the engine dies.
+struct FaultArmGuard {
+  FaultArmGuard(std::vector<fault::FaultSchedule> schedules, uint64_t seed,
+                MetricsRegistry* metrics = nullptr) {
+    fault::FaultInjector::Get().Arm(std::move(schedules), seed, metrics);
+  }
+  ~FaultArmGuard() { fault::FaultInjector::Get().Disarm(); }
+};
+
+// Flushes until every buffered record is durably appended. Injected append
+// failures past the retry budget leave batches buffered; a real gateway
+// keeps flushing, and so does the harness.
+inline Status FlushUntilDrained(IngressProducer& producer, Clock* clock) {
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    if (producer.buffered() == 0) {
+      return OkStatus();
+    }
+    if (!producer.Flush().ok()) {
+      clock->SleepFor(2 * kMillisecond);
+    }
+  }
+  return producer.buffered() == 0 ? OkStatus()
+                                  : UnavailableError("flush never drained");
+}
 
 inline EngineConfig FastConfig(ProtocolKind protocol) {
   EngineConfig config;
