@@ -155,6 +155,8 @@ ChaosRun RunOnce(ProtocolKind protocol, uint64_t seed,
   options.config.heartbeat_interval = 10 * kMillisecond;
   options.config.failure_timeout = 250 * kMillisecond;
   options.config.auto_restart = true;
+  options.config.log_shards = BenchShards();
+  options.config.sched_workers = BenchWorkers();
   options.name = "chaos-bench";
   Engine engine(std::move(options));
 
@@ -243,6 +245,22 @@ int Main() {
                 static_cast<unsigned long long>(chaos.crashes),
                 static_cast<unsigned long long>(chaos.retries),
                 verdict);
+    BenchPoint point;
+    point.name = std::string(ProtocolKindName(protocol)) + "/chaos";
+    point.ns_per_op = chaos.seconds * 1e9;  // time to fully committed output
+    point.ops_per_sec =
+        chaos.seconds > 0 ? NumEvents() / chaos.seconds : 0;
+    char extra[200];
+    std::snprintf(extra, sizeof(extra),
+                  "\"clean_sec\": %.3f, \"chaos_sec\": %.3f, "
+                  "\"faults\": %llu, \"crashes\": %llu, \"retries\": %llu, "
+                  "\"verdict\": \"%s\"",
+                  clean.seconds, chaos.seconds,
+                  static_cast<unsigned long long>(chaos.fault_fires),
+                  static_cast<unsigned long long>(chaos.crashes),
+                  static_cast<unsigned long long>(chaos.retries), verdict);
+    point.extra = extra;
+    BenchJson::Instance().Add(point);
   }
   std::printf(
       "\nEvery exactly-once protocol must read \"identical\": injected "

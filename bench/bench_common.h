@@ -25,6 +25,16 @@
 //                           seed drives the NEXMark generator, the
 //                           calibrated latency models, and any fault
 //                           schedules, so a run replays bit-for-bit.
+//   IMPELLER_SHARDS         shared-log shard count (default 1); the
+//                           --shards=N flag takes precedence
+//   IMPELLER_WORKERS        scheduler worker count (default 0 = one per
+//                           hardware thread); --workers=N takes precedence
+//   IMPELLER_TASKS          tasks per stage (default 2); --tasks=N takes
+//                           precedence. More tasks = more concurrent
+//                           append rounds, which is what saturates a
+//                           1-shard sequencer
+//   IMPELLER_BENCH_JSON     output path for the machine-readable result
+//                           file (default BENCH_<name>.json in the cwd)
 #ifndef IMPELLER_BENCH_BENCH_COMMON_H_
 #define IMPELLER_BENCH_BENCH_COMMON_H_
 
@@ -67,17 +77,82 @@ inline uint64_t& MutableBenchSeed() {
 // fault schedules. Set by --seed / IMPELLER_BENCH_SEED.
 inline uint64_t BenchSeed() { return MutableBenchSeed(); }
 
-// Parses and strips "--seed=N" / "--seed N" from argv so every bench binary
-// shares one seed flag — google-benchmark binaries call this *before*
-// benchmark::Initialize, which rejects unknown flags.
+inline uint32_t EnvU32(const char* name, uint32_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  return static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+}
+
+inline uint32_t& MutableBenchShards() {
+  static uint32_t shards = EnvU32("IMPELLER_SHARDS", 1);
+  return shards;
+}
+
+inline uint32_t& MutableBenchWorkers() {
+  static uint32_t workers = EnvU32("IMPELLER_WORKERS", 0);
+  return workers;
+}
+
+// Shared-log shard count every bench engine uses (--shards /
+// IMPELLER_SHARDS; default 1 = the seed's single sequencer).
+inline uint32_t BenchShards() { return MutableBenchShards(); }
+
+// Scheduler worker count (--workers / IMPELLER_WORKERS; default 0 = one
+// worker per hardware thread).
+inline uint32_t BenchWorkers() { return MutableBenchWorkers(); }
+
+inline uint32_t& MutableBenchTasks() {
+  static uint32_t tasks = EnvU32("IMPELLER_TASKS", 2);
+  return tasks;
+}
+
+// Tasks per stage (--tasks / IMPELLER_TASKS; default 2, the paper's
+// baseline parallelism).
+inline uint32_t BenchTasks() { return MutableBenchTasks(); }
+
+// Set by InitBench from argv[0]: "bench_micro_log" -> "micro_log".
+inline std::string& MutableBenchName() {
+  static std::string name = "bench";
+  return name;
+}
+
+// Parses and strips "--seed=N" / "--shards=N" / "--workers=N" (and their
+// two-token forms) from argv so every bench binary shares the same flags —
+// google-benchmark binaries call this *before* benchmark::Initialize, which
+// rejects unknown flags.
 inline void InitBench(int* argc, char** argv) {
+  if (*argc > 0) {
+    std::string_view bin = argv[0];
+    if (size_t slash = bin.rfind('/'); slash != std::string_view::npos) {
+      bin.remove_prefix(slash + 1);
+    }
+    if (bin.rfind("bench_", 0) == 0) {
+      bin.remove_prefix(6);
+    }
+    MutableBenchName() = std::string(bin);
+  }
+  auto u64 = [](const char* s) { return std::strtoull(s, nullptr, 10); };
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
-      MutableBenchSeed() = std::strtoull(argv[i] + 7, nullptr, 10);
+      MutableBenchSeed() = u64(argv[i] + 7);
     } else if (arg == "--seed" && i + 1 < *argc) {
-      MutableBenchSeed() = std::strtoull(argv[++i], nullptr, 10);
+      MutableBenchSeed() = u64(argv[++i]);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      MutableBenchShards() = static_cast<uint32_t>(u64(argv[i] + 9));
+    } else if (arg == "--shards" && i + 1 < *argc) {
+      MutableBenchShards() = static_cast<uint32_t>(u64(argv[++i]));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      MutableBenchWorkers() = static_cast<uint32_t>(u64(argv[i] + 10));
+    } else if (arg == "--workers" && i + 1 < *argc) {
+      MutableBenchWorkers() = static_cast<uint32_t>(u64(argv[++i]));
+    } else if (arg.rfind("--tasks=", 0) == 0) {
+      MutableBenchTasks() = static_cast<uint32_t>(u64(argv[i] + 8));
+    } else if (arg == "--tasks" && i + 1 < *argc) {
+      MutableBenchTasks() = static_cast<uint32_t>(u64(argv[++i]));
     } else {
       argv[out++] = argv[i];
     }
@@ -127,7 +202,9 @@ struct RunConfig {
   double events_per_sec = 10000;
   DurationNs commit_interval = 100 * kMillisecond;
   DurationNs snapshot_interval = 10 * kSecond;
-  uint32_t tasks_per_stage = 2;
+  uint32_t tasks_per_stage = BenchTasks();
+  uint32_t shards = BenchShards();    // shared-log shard count
+  uint32_t workers = BenchWorkers();  // scheduler workers (0 = hardware)
   double warmup_sec = WarmupSeconds();
   double measure_sec = MeasureSeconds();
 };
@@ -138,6 +215,78 @@ struct RunResult {
   uint64_t outputs = 0;
   uint64_t inputs = 0;
   bool saturated = false;  // p99 beyond the paper's cutoff for the query
+};
+
+// One entry of the machine-readable result file BENCH_<name>.json.
+struct BenchPoint {
+  std::string name;         // series/case, e.g. "impeller/q1/10000"
+  double ns_per_op = 0;     // mean time per operation/output
+  double ops_per_sec = 0;   // throughput
+  int64_t p50_ns = 0;       // 0 when the case has no latency distribution
+  int64_t p99_ns = 0;
+  std::string extra;        // extra JSON fields: `"k": v, "k2": v2` (no
+                            // trailing comma), appended to the entry
+};
+
+// Accumulates BenchPoints and rewrites BENCH_<name>.json after every Add,
+// so interrupted sweeps still leave a parseable file. The header records
+// the run configuration (seed, shards, workers, fast mode) once; every
+// bench binary emits this file unconditionally — CI uploads them as
+// artifacts and the shard-scaling acceptance check compares two of them.
+class BenchJson {
+ public:
+  static BenchJson& Instance() {
+    static BenchJson json;
+    return json;
+  }
+
+  void Add(const BenchPoint& p) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                  "\"ops_per_sec\": %.1f, \"p50_ns\": %lld, \"p99_ns\": %lld",
+                  p.name.c_str(), p.ns_per_op, p.ops_per_sec,
+                  static_cast<long long>(p.p50_ns),
+                  static_cast<long long>(p.p99_ns));
+    std::string entry = buf;
+    if (!p.extra.empty()) {
+      entry += ", " + p.extra;
+    }
+    entry += "}";
+    points_.push_back(std::move(entry));
+    WriteAll();
+  }
+
+  std::string path() const {
+    const char* override_path = std::getenv("IMPELLER_BENCH_JSON");
+    if (override_path != nullptr) {
+      return override_path;
+    }
+    return "BENCH_" + MutableBenchName() + ".json";
+  }
+
+ private:
+  void WriteAll() const {
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"bench\": \"%s\", \"seed\": %llu, \"shards\": %u, "
+                  "\"workers\": %u, \"fast\": %s,\n \"points\": [\n",
+                  MutableBenchName().c_str(),
+                  static_cast<unsigned long long>(BenchSeed()), BenchShards(),
+                  BenchWorkers(), FastMode() ? "true" : "false");
+    std::string body = head;
+    for (size_t i = 0; i < points_.size(); ++i) {
+      body += points_[i];
+      body += i + 1 < points_.size() ? ",\n" : "\n";
+    }
+    body += "]}\n";
+    if (Status st = obs::WriteFile(path().c_str(), body); !st.ok()) {
+      std::fprintf(stderr, "bench json export failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+
+  std::vector<std::string> points_;
 };
 
 // Observability session shared by every run point of a bench binary: when
@@ -268,6 +417,8 @@ inline EngineOptions MakeEngineOptions(const RunConfig& config,
   }
   options.config.commit_interval = config.commit_interval;
   options.config.snapshot_interval = config.snapshot_interval;
+  options.config.log_shards = config.shards;
+  options.config.sched_workers = config.workers;
   return options;
 }
 
@@ -332,6 +483,37 @@ inline RunResult RunPoint(const RunConfig& config,
   int64_t cutoff = config.query <= 2 ? 60 * kMillisecond : kSecond;
   result.saturated = result.p99 > cutoff || result.p50 == 0;
   BenchObs::Instance().OnRunEnd(&engine, config, result);
+
+  BenchPoint point;
+  {
+    char name[128];
+    std::snprintf(name, sizeof(name), "%s/q%d/%.0f",
+                  SystemName(config.system), config.query,
+                  config.events_per_sec);
+    point.name = name;
+  }
+  double throughput =
+      config.measure_sec > 0 ? result.outputs / config.measure_sec : 0;
+  point.ops_per_sec = throughput;
+  point.ns_per_op = throughput > 0 ? 1e9 / throughput : 0;
+  point.p50_ns = result.p50;
+  point.p99_ns = result.p99;
+  {
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  "\"system\": \"%s\", \"query\": %d, "
+                  "\"events_per_sec\": %.0f, \"commit_interval_ms\": %.1f, "
+                  "\"tasks_per_stage\": %u, \"inputs\": %llu, "
+                  "\"outputs\": %llu, \"saturated\": %s",
+                  SystemName(config.system), config.query,
+                  config.events_per_sec, config.commit_interval / 1e6,
+                  config.tasks_per_stage,
+                  static_cast<unsigned long long>(result.inputs),
+                  static_cast<unsigned long long>(result.outputs),
+                  result.saturated ? "true" : "false");
+    point.extra = extra;
+  }
+  BenchJson::Instance().Add(point);
   return result;
 }
 

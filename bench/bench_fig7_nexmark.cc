@@ -39,13 +39,16 @@ std::vector<double> RatesFor(int query) {
   return rates;
 }
 
-int Main() {
+int Main(int only_query) {
   const System systems[] = {System::kImpeller, System::kKafkaStreams,
                             System::kKafkaTxn, System::kAlignedCkpt};
   std::printf(
       "Figure 7: NEXMark event-time latency vs input rate "
       "(commit interval 100ms)\n");
   for (int query = 1; query <= 8; ++query) {
+    if (only_query != 0 && query != only_query) {
+      continue;
+    }
     std::printf("\nQ%d  %-16s", query, "rate (events/s):");
     for (double rate : RatesFor(query)) {
       std::printf(" %10.0f", rate);
@@ -81,7 +84,15 @@ int Main() {
 }  // namespace bench
 }  // namespace impeller
 
+// Extra local flag: --query=N restricts the sweep to one NEXMark query
+// (the shard-scaling acceptance run uses --query=1).
 int main(int argc, char** argv) {
   impeller::bench::InitBench(&argc, argv);
-  return impeller::bench::Main();
+  int only_query = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--query=", 0) == 0) {
+      only_query = std::atoi(argv[i] + 8);
+    }
+  }
+  return impeller::bench::Main(only_query);
 }

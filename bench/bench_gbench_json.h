@@ -1,0 +1,60 @@
+// Bridges google-benchmark results into the shared BENCH_<name>.json file:
+// a ConsoleReporter subclass that forwards every real (non-aggregate,
+// non-errored) run to BenchJson while still printing the usual console
+// table. Use from a gbench main:
+//
+//   impeller::bench::InitBench(&argc, argv);
+//   benchmark::Initialize(&argc, argv);
+//   impeller::bench::JsonForwardingReporter reporter;
+//   benchmark::RunSpecifiedBenchmarks(&reporter);
+#ifndef IMPELLER_BENCH_BENCH_GBENCH_JSON_H_
+#define IMPELLER_BENCH_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace impeller {
+namespace bench {
+
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || !run.aggregate_name.empty() ||
+          run.iterations == 0) {
+        continue;
+      }
+      BenchPoint point;
+      point.name = run.benchmark_name();
+      point.ns_per_op =
+          run.real_accumulated_time / static_cast<double>(run.iterations) *
+          1e9;
+      // Prefer the benchmark's own items/s counter (SetItemsProcessed);
+      // fall back to the inverse of per-op time.
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        point.ops_per_sec = items->second.value;
+      } else if (point.ns_per_op > 0) {
+        point.ops_per_sec = 1e9 / point.ns_per_op;
+      }
+      auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        char extra[64];
+        std::snprintf(extra, sizeof(extra), "\"bytes_per_sec\": %.1f",
+                      bytes->second.value);
+        point.extra = extra;
+      }
+      BenchJson::Instance().Add(point);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+}  // namespace bench
+}  // namespace impeller
+
+#endif  // IMPELLER_BENCH_BENCH_GBENCH_JSON_H_

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_gbench_json.h"
 
 #include "src/common/serde.h"
 #include "src/core/commit_tracker.h"
@@ -180,7 +181,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  impeller::bench::JsonForwardingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

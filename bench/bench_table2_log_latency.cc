@@ -8,6 +8,7 @@
 //   100 aps                     p50 2546 p99 3596   p50 1449 p99 2942
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "bench/bench_common.h"
 #include "src/common/histogram.h"
@@ -122,6 +123,17 @@ int Main() {
                 kafka.p50 > 0
                     ? static_cast<double>(boki.p50) / kafka.p50
                     : 0.0);
+    for (const auto& [series, sample] :
+         {std::pair<const char*, Sample>{"log", boki}, {"kafka", kafka}}) {
+      BenchPoint point;
+      point.name = std::string(series) + "/" + std::to_string(
+                       static_cast<int>(row.aps)) + "aps";
+      point.ns_per_op = static_cast<double>(sample.p50);
+      point.ops_per_sec = row.aps;
+      point.p50_ns = sample.p50;
+      point.p99_ns = sample.p99;
+      BenchJson::Instance().Add(point);
+    }
   }
   std::printf(
       "\nPaper: log p50 2546-2714us p99 3596-3832us; kafka p50 1449-2074us\n"

@@ -87,9 +87,28 @@ int Main() {
   std::printf("\n%s\n", std::string(62, '-').c_str());
 
   std::vector<RecoveryOutcome> baseline, checkpointed;
+  auto record = [](const char* series, double rate,
+                   const RecoveryOutcome& o) {
+    BenchPoint point;
+    point.name = std::string(series) + "/" +
+                 std::to_string(static_cast<int>(rate));
+    point.ns_per_op = o.recovery_sec * 1e9;  // recovery time per failure
+    point.ops_per_sec = o.recovery_sec > 0 ? 1.0 / o.recovery_sec : 0;
+    char extra[160];
+    std::snprintf(extra, sizeof(extra),
+                  "\"entries_read\": %llu, \"changes_applied\": %llu, "
+                  "\"used_checkpoint\": %s",
+                  static_cast<unsigned long long>(o.entries_read),
+                  static_cast<unsigned long long>(o.changes_applied),
+                  o.used_checkpoint ? "true" : "false");
+    point.extra = extra;
+    BenchJson::Instance().Add(point);
+  };
   for (double rate : rates) {
     baseline.push_back(RunOnce(rate, /*checkpointing=*/false, run_sec));
+    record("baseline", rate, baseline.back());
     checkpointed.push_back(RunOnce(rate, /*checkpointing=*/true, run_sec));
+    record("ckpt", rate, checkpointed.back());
   }
   std::printf("%-22s", "recovery: baseline(s)");
   for (const auto& o : baseline) {

@@ -58,6 +58,15 @@ struct EngineConfig {
   bool enable_gc = false;
   DurationNs gc_interval = 5 * kSecond;
 
+  // Shared-log sharding: per-shard sequencers interleaved by the metalog
+  // into one total order. 1 = single sequencer (seed behavior).
+  uint32_t log_shards = 1;
+
+  // Workers in the engine's work-stealing task scheduler. 0 = one per
+  // hardware thread (floored at 4 so small machines keep preemptive
+  // sharing between tasks).
+  uint32_t sched_workers = 0;
+
   // Backoff for log-client appends on transient kUnavailable failures
   // (tasks, ingress producers, protocol coordinators).
   RetryPolicy retry;

@@ -13,14 +13,23 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   log_opts.latency = options_.log_latency;
   log_opts.clock = clock_;
   log_opts.metrics = &metrics_;
+  log_opts.shards = options_.config.log_shards;
   log_ = std::make_unique<SharedLog>(std::move(log_opts));
   KvStoreOptions kv_opts;
   kv_opts.wal_path = options_.kv_wal_path;
   kv_opts.latency = options_.kv_latency;
   kv_opts.clock = clock_;
   kv_ = std::make_unique<KvStore>(std::move(kv_opts));
-  manager_ = std::make_unique<TaskManager>(log_.get(), kv_.get(),
-                                           options_.config, &metrics_, clock_);
+  sched::SchedulerOptions sched_opts;
+  sched_opts.workers = options_.config.sched_workers;
+  sched_opts.clock = clock_;
+  sched_opts.metrics = &metrics_;
+  sched_opts.name = options_.name + ".sched";
+  sched_ = std::make_unique<sched::WorkStealingScheduler>(sched_opts);
+  sched_->Start();
+  manager_ =
+      std::make_unique<TaskManager>(log_.get(), kv_.get(), options_.config,
+                                    &metrics_, clock_, sched_.get());
 }
 
 Engine::~Engine() { Stop(); }
@@ -32,8 +41,13 @@ Status Engine::Submit(QueryPlan plan) {
 }
 
 void Engine::Stop() {
-  if (submitted_) {
+  if (submitted_ && !stopped_) {
+    stopped_ = true;
     manager_->Stop();
+    // Wake any reader still blocked in AwaitNext (no more data is coming),
+    // then retire the scheduler workers.
+    log_->Close();
+    sched_->Stop();
   }
 }
 

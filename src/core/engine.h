@@ -17,6 +17,7 @@
 #include "src/core/substream_reader.h"
 #include "src/core/task_manager.h"
 #include "src/kvstore/kv_store.h"
+#include "src/sched/scheduler.h"
 #include "src/sharedlog/shared_log.h"
 
 namespace impeller {
@@ -61,6 +62,7 @@ class Engine {
   KvStore* checkpoint_store() { return kv_.get(); }
   MetricsRegistry* metrics() { return &metrics_; }
   TaskManager* tasks() { return manager_.get(); }
+  sched::WorkStealingScheduler* scheduler() { return sched_.get(); }
   Clock* clock() { return clock_; }
   const QueryPlan& plan() const { return manager_->plan(); }
 
@@ -70,8 +72,12 @@ class Engine {
   std::unique_ptr<SharedLog> log_;
   std::unique_ptr<KvStore> kv_;
   MetricsRegistry metrics_;
+  // Declared before manager_: tasks are scheduler entities, so the manager
+  // must stop (and drain every ticket) before the scheduler dies.
+  std::unique_ptr<sched::WorkStealingScheduler> sched_;
   std::unique_ptr<TaskManager> manager_;
   bool submitted_ = false;
+  bool stopped_ = false;
 };
 
 // Batching producer for an ingress stream: records are hashed to substreams

@@ -7,12 +7,13 @@ namespace impeller {
 
 TaskManager::TaskManager(SharedLog* log, KvStore* checkpoint_store,
                          EngineConfig config, MetricsRegistry* metrics,
-                         Clock* clock)
+                         Clock* clock, sched::WorkStealingScheduler* sched)
     : log_(log),
       checkpoint_store_(checkpoint_store),
       config_(config),
       metrics_(metrics),
-      clock_(clock) {}
+      clock_(clock),
+      sched_(sched) {}
 
 TaskManager::~TaskManager() { Stop(); }
 
@@ -125,12 +126,23 @@ Status TaskManager::SpawnLocked(TaskEntry& entry, const std::string& task_id,
   }
 
   if (entry.runtime != nullptr) {
-    entry.old.emplace_back(std::move(entry.runtime), std::move(entry.thread));
+    entry.old.emplace_back(std::move(entry.runtime), entry.ticket);
+    entry.ticket = sched::kInvalidTicket;
   }
   entry.runtime = std::make_unique<TaskRuntime>(std::move(wiring));
   TaskRuntime* rt = entry.runtime.get();
-  entry.thread = JoiningThread([rt] { rt->Run(); });
+  entry.ticket = sched_->Submit([rt] { return rt->Step(); },
+                                TaskAffinity(entry), task_id);
   return OkStatus();
+}
+
+uint32_t TaskManager::TaskAffinity(const TaskEntry& entry) const {
+  if (entry.stage != nullptr && !entry.stage->inputs.empty()) {
+    // First owned input substream (task i of T owns substreams s % T == i,
+    // so substream `index` is always owned: num_tasks <= num_substreams).
+    return log_->ShardOfTag(DataTag(entry.stage->inputs[0], entry.index));
+  }
+  return entry.index;
 }
 
 void TaskManager::Stop() {
@@ -147,7 +159,7 @@ void TaskManager::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     // Zombies first: they are superseded and hold no obligations.
     for (auto& [id, entry] : tasks_) {
-      for (auto& [rt, thread] : entry.old) {
+      for (auto& [rt, ticket] : entry.old) {
         rt->RequestStop();
       }
     }
@@ -170,16 +182,16 @@ void TaskManager::Stop() {
     for (const auto& id : ids) {
       auto it = tasks_.find(id);
       if (it != tasks_.end()) {
-        it->second.thread.Join();
+        sched_->Wait(it->second.ticket);
       }
     }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [id, entry] : tasks_) {
-      entry.thread.Join();
-      for (auto& [rt, thread] : entry.old) {
-        thread.Join();
+      sched_->Wait(entry.ticket);
+      for (auto& [rt, ticket] : entry.old) {
+        sched_->Wait(ticket);
       }
     }
   }
@@ -218,7 +230,7 @@ Result<RecoveryStats> TaskManager::RestartTask(const std::string& task_id) {
     TaskEntry& entry = it->second;
     if (entry.runtime != nullptr) {
       entry.runtime->Crash();
-      entry.thread.Join();
+      sched_->Wait(entry.ticket);
     }
     IMPELLER_RETURN_IF_ERROR(SpawnLocked(entry, task_id));
     rt = entry.runtime.get();
@@ -315,7 +327,7 @@ Status TaskManager::RescaleStage(const std::string& stage_name,
     for (const auto& id : old_ids) {
       auto it = tasks_.find(id);
       if (it != tasks_.end()) {
-        it->second.thread.Join();
+        sched_->Wait(it->second.ticket);
       }
     }
   }

@@ -27,14 +27,19 @@
 #include "src/kvstore/kv_store.h"
 #include "src/protocols/barrier_coordinator.h"
 #include "src/protocols/txn_coordinator.h"
+#include "src/sched/scheduler.h"
 #include "src/sharedlog/shared_log.h"
 
 namespace impeller {
 
 class TaskManager {
  public:
+  // Tasks execute as cooperative step entities on `sched` (shard-affine
+  // placement: a task's home worker is derived from the log shard of its
+  // first input substream, so tasks sharing a shard share a cache).
   TaskManager(SharedLog* log, KvStore* checkpoint_store, EngineConfig config,
-              MetricsRegistry* metrics, Clock* clock);
+              MetricsRegistry* metrics, Clock* clock,
+              sched::WorkStealingScheduler* sched);
   ~TaskManager();
 
   // Starts every task of the plan (plus the protocol coordinators, the
@@ -87,15 +92,18 @@ class TaskManager {
     const StageSpec* stage = nullptr;
     uint32_t index = 0;
     std::unique_ptr<TaskRuntime> runtime;
-    JoiningThread thread;
-    // Superseded instances kept alive until their threads exit (zombies).
-    std::vector<std::pair<std::unique_ptr<TaskRuntime>, JoiningThread>> old;
+    sched::Ticket ticket = sched::kInvalidTicket;
+    // Superseded instances kept alive until their entities finish (zombies).
+    std::vector<std::pair<std::unique_ptr<TaskRuntime>, sched::Ticket>> old;
   };
 
   // Spawns a new instance for the entry (caller holds mu_). `initial_ends`
   // optionally seeds input cursors (rescale handoff).
   Status SpawnLocked(TaskEntry& entry, const std::string& task_id,
                      const std::map<std::string, Lsn>* initial_ends = nullptr);
+  // Home-worker hint: log shard of the task's first owned input substream
+  // (task i of T owns substreams s % T == i); falls back to the task index.
+  uint32_t TaskAffinity(const TaskEntry& entry) const;
   std::vector<const StageSpec*> TopologicalStageOrder() const;
   void MonitorLoop();
 
@@ -104,6 +112,7 @@ class TaskManager {
   EngineConfig config_;
   MetricsRegistry* metrics_;
   Clock* clock_;
+  sched::WorkStealingScheduler* sched_;
 
   QueryPlan plan_;
   bool submitted_ = false;

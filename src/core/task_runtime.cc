@@ -801,107 +801,157 @@ Status TaskRuntime::CompleteAlignment() {
   return OkStatus();
 }
 
-// --- Main loop ---
+// --- Main loop (cooperative state machine) ---
 
-void TaskRuntime::Run() {
+sched::StepResult TaskRuntime::Step() {
+  switch (phase_) {
+    case Phase::kInit:
+      return StepInit();
+    case Phase::kRunning:
+      return StepRunning();
+    case Phase::kDraining:
+      return StepDraining();
+    case Phase::kDone:
+      return sched::StepResult::Done();
+  }
+  return sched::StepResult::Done();
+}
+
+sched::StepResult TaskRuntime::StepInit() {
   heartbeat_.store(wiring_.clock->Now());
   Status st = Recover();
   started_.store(true);
   if (!st.ok()) {
     LOG_ERROR << task_id_ << ": recovery failed: " << st.ToString();
-    std::lock_guard<std::mutex> lock(status_mu_);
-    final_status_ = st;
+    {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      final_status_ = st;
+    }
+    phase_ = Phase::kDone;
     finished_.store(true);
-    return;
+    return sched::StepResult::Done();
   }
-
   const EngineConfig& cfg = wiring_.config;
   TimeNs now = wiring_.clock->Now();
-  TimeNs next_commit = now + cfg.commit_interval;
-  TimeNs next_timer = now + cfg.timer_interval;
-  TimeNs next_flush = now + cfg.output_flush_interval;
-  Status run_status = OkStatus();
+  next_commit_ = now + cfg.commit_interval;
+  next_timer_ = now + cfg.timer_interval;
+  next_flush_ = now + cfg.output_flush_interval;
+  run_status_ = OkStatus();
+  phase_ = Phase::kRunning;
+  return sched::StepResult::Ready();
+}
 
-  while (!ShouldExit()) {
-    heartbeat_.store(wiring_.clock->Now(), std::memory_order_relaxed);
-    auto polled = PollInputs();
-    if (!polled.ok()) {
-      run_status = polled.status();
-      break;
+sched::StepResult TaskRuntime::StepRunning() {
+  const EngineConfig& cfg = wiring_.config;
+  if (ShouldExit()) {
+    if (Crashed() || !run_status_.ok()) {
+      return FinishEpilogue();
     }
-    now = wiring_.clock->Now();
-    if (now >= next_timer) {
-      RunTimers(now);
-      next_timer = now + cfg.timer_interval;
-    }
-    bool force_flush = now >= next_flush;
-    if (force_flush) {
-      next_flush = now + cfg.output_flush_interval;
-    }
-    run_status = MaybeFlush(force_flush);
-    if (!run_status.ok()) {
-      break;
-    }
-    now = wiring_.clock->Now();
-    if (now >= next_commit) {
-      run_status = Commit();
-      if (!run_status.ok()) {
-        break;
-      }
-      next_commit = wiring_.clock->Now() + cfg.commit_interval;
-    }
-    if (*polled == 0) {
-      wiring_.clock->SleepFor(cfg.poll_interval);
-    }
+    // Graceful stop: drain remaining committed input (the task manager
+    // stops stages in topological order, so upstream cuts are already
+    // final), then flush and commit a final cut of our own.
+    drain_quiet_ =
+        std::max<DurationNs>(2 * cfg.poll_interval, 20 * kMillisecond);
+    drain_deadline_ = wiring_.clock->Now() + 3 * kSecond;
+    drain_quiet_until_ = wiring_.clock->Now() + drain_quiet_;
+    phase_ = Phase::kDraining;
+    return sched::StepResult::Ready();
   }
+  heartbeat_.store(wiring_.clock->Now(), std::memory_order_relaxed);
+  auto polled = PollInputs();
+  if (!polled.ok()) {
+    run_status_ = polled.status();
+    return FinishEpilogue();
+  }
+  TimeNs now = wiring_.clock->Now();
+  if (now >= next_timer_) {
+    RunTimers(now);
+    next_timer_ = now + cfg.timer_interval;
+  }
+  bool force_flush = now >= next_flush_;
+  if (force_flush) {
+    next_flush_ = now + cfg.output_flush_interval;
+  }
+  run_status_ = MaybeFlush(force_flush);
+  if (!run_status_.ok()) {
+    return FinishEpilogue();
+  }
+  now = wiring_.clock->Now();
+  if (now >= next_commit_) {
+    run_status_ = Commit();
+    if (!run_status_.ok()) {
+      return FinishEpilogue();
+    }
+    next_commit_ = wiring_.clock->Now() + cfg.commit_interval;
+  }
+  if (*polled == 0) {
+    return sched::StepResult::Idle(cfg.poll_interval);
+  }
+  return sched::StepResult::Ready();
+}
 
-  if (!Crashed() && run_status.ok()) {
-    // Graceful stop: drain remaining committed input (the task manager stops
-    // stages in topological order, so upstream cuts are already final),
-    // then flush and commit a final cut of our own.
-    const DurationNs quiet = std::max<DurationNs>(
-        2 * cfg.poll_interval, 20 * kMillisecond);
-    TimeNs drain_deadline = wiring_.clock->Now() + 3 * kSecond;
-    TimeNs quiet_until = wiring_.clock->Now() + quiet;
-    while (!Crashed() && wiring_.clock->Now() < drain_deadline &&
-           wiring_.clock->Now() < quiet_until) {
-      auto polled = PollInputs();
-      if (!polled.ok()) {
-        run_status = polled.status();
-        break;
-      }
-      if (*polled > 0) {
-        quiet_until = wiring_.clock->Now() + quiet;
-      } else {
-        wiring_.clock->SleepFor(cfg.poll_interval);
-      }
-    }
-    Status flush = MaybeFlush(true);
-    if (flush.ok()) {
-      flush = Commit();
-    }
-    if (flush.ok() && txn_inflight_.valid()) {
-      txn_inflight_.wait();
-      flush = txn_inflight_.get();
-      txn_inflight_ = {};
-    }
-    if (!flush.ok() && run_status.ok()) {
-      run_status = flush;
-    }
+sched::StepResult TaskRuntime::StepDraining() {
+  heartbeat_.store(wiring_.clock->Now(), std::memory_order_relaxed);
+  TimeNs now = wiring_.clock->Now();
+  if (Crashed() || !run_status_.ok() || now >= drain_deadline_ ||
+      now >= drain_quiet_until_) {
+    return FinishWithTail();
   }
+  auto polled = PollInputs();
+  if (!polled.ok()) {
+    run_status_ = polled.status();
+    return FinishWithTail();
+  }
+  if (*polled > 0) {
+    drain_quiet_until_ = wiring_.clock->Now() + drain_quiet_;
+    return sched::StepResult::Ready();
+  }
+  return sched::StepResult::Idle(wiring_.config.poll_interval);
+}
 
-  if (Crashed() && run_status.ok()) {
-    run_status = UnavailableError("task crashed (simulated server failure)");
+sched::StepResult TaskRuntime::FinishWithTail() {
+  Status flush = MaybeFlush(true);
+  if (flush.ok()) {
+    flush = Commit();
   }
-  if (!run_status.ok() && run_status.code() != StatusCode::kFenced &&
+  if (flush.ok() && txn_inflight_.valid()) {
+    txn_inflight_.wait();
+    flush = txn_inflight_.get();
+    txn_inflight_ = {};
+  }
+  if (!flush.ok() && run_status_.ok()) {
+    run_status_ = flush;
+  }
+  return FinishEpilogue();
+}
+
+sched::StepResult TaskRuntime::FinishEpilogue() {
+  if (Crashed() && run_status_.ok()) {
+    run_status_ = UnavailableError("task crashed (simulated server failure)");
+  }
+  if (!run_status_.ok() && run_status_.code() != StatusCode::kFenced &&
       !Crashed()) {
-    LOG_WARN << task_id_ << " exited: " << run_status.ToString();
+    LOG_WARN << task_id_ << " exited: " << run_status_.ToString();
   }
   {
     std::lock_guard<std::mutex> lock(status_mu_);
-    final_status_ = run_status;
+    final_status_ = run_status_;
   }
+  phase_ = Phase::kDone;
   finished_.store(true);
+  return sched::StepResult::Done();
+}
+
+void TaskRuntime::Run() {
+  while (true) {
+    sched::StepResult r = Step();
+    if (r.outcome == sched::StepOutcome::kDone) {
+      return;
+    }
+    if (r.outcome == sched::StepOutcome::kIdle) {
+      wiring_.clock->SleepFor(r.idle_delay);
+    }
+  }
 }
 
 }  // namespace impeller

@@ -36,6 +36,7 @@
 #include "src/core/query.h"
 #include "src/core/substream_reader.h"
 #include "src/kvstore/kv_store.h"
+#include "src/sched/scheduler.h"
 #include "src/sharedlog/shared_log.h"
 
 namespace impeller {
@@ -75,7 +76,16 @@ class TaskRuntime final : public OperatorContext {
   explicit TaskRuntime(TaskWiring wiring);
   ~TaskRuntime() override;
 
-  // Thread body; returns when stopped, crashed, or fenced.
+  // One cooperative slice of the task's lifecycle, driven by the engine's
+  // work-stealing scheduler: recover on the first step, then poll/flush/
+  // commit slices until stopped, crashed, or fenced; a graceful stop drains
+  // remaining committed input before the final cut. Returns kIdle with the
+  // poll interval when no input was ready, kDone after the final status is
+  // published.
+  sched::StepResult Step();
+
+  // Dedicated-thread body (tests / standalone use): loops Step(), sleeping
+  // through kIdle delays; returns when Step reports kDone.
   void Run();
 
   // Graceful stop: final flush + commit, then exit.
@@ -158,6 +168,20 @@ class TaskRuntime final : public OperatorContext {
   std::vector<std::pair<std::string, Lsn>> CurrentInputEnds() const;
   std::vector<std::string> DownstreamMarkerTags() const;
 
+  // Step() state machine: kInit recovers, kRunning is the steady-state
+  // poll/flush/commit loop, kDraining is the graceful-stop drain, kDone is
+  // terminal. The transition helpers mirror the epilogue of the old
+  // monolithic Run() loop.
+  enum class Phase { kInit, kRunning, kDraining, kDone };
+  sched::StepResult StepInit();
+  sched::StepResult StepRunning();
+  sched::StepResult StepDraining();
+  // Final flush + commit (+ transaction wait) of a graceful stop, then the
+  // epilogue. Entered from kDraining however the drain ended.
+  sched::StepResult FinishWithTail();
+  // Publishes final_status_ and flips to kDone.
+  sched::StepResult FinishEpilogue();
+
   TaskWiring wiring_;
   std::string task_id_;
   bool uses_markers_ = false;     // progress marking or kafka txn
@@ -223,6 +247,17 @@ class TaskRuntime final : public OperatorContext {
 
   // Sink-to-egress routing (identity partition by task index).
   std::vector<bool> output_is_egress_;
+
+  // Step() state (touched only by the worker currently stepping this task;
+  // the scheduler serializes steps of one entity).
+  Phase phase_ = Phase::kInit;
+  Status run_status_;
+  TimeNs next_commit_ = 0;
+  TimeNs next_timer_ = 0;
+  TimeNs next_flush_ = 0;
+  DurationNs drain_quiet_ = 0;
+  TimeNs drain_deadline_ = 0;
+  TimeNs drain_quiet_until_ = 0;
 };
 
 }  // namespace impeller

@@ -1,0 +1,256 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace impeller {
+namespace sched {
+
+namespace {
+
+inline void BumpCounter(Counter* counter, uint64_t n = 1) {
+  if (counter != nullptr) {
+    counter->Add(n);
+  }
+}
+
+// Floor for idle re-runs: a zero-delay kIdle must not hot-spin the worker.
+constexpr DurationNs kMinIdleDelay = 10 * kMicrosecond;
+// Upper bound on a parked worker's nap: a submit notifies immediately; a
+// sleeper becoming due while every worker naps is caught within this bound.
+constexpr DurationNs kMaxParkNap = 2 * kMillisecond;
+
+}  // namespace
+
+WorkStealingScheduler::WorkStealingScheduler(SchedulerOptions options)
+    : options_(std::move(options)) {
+  clock_ = options_.clock != nullptr ? options_.clock : MonotonicClock::Get();
+  // Default: one worker per hardware thread, floored at 4. On small
+  // machines a single worker would serialize independent tasks behind each
+  // other's blocking steps (recovery, modeled-latency commits), starving
+  // heartbeats; a few OS threads restore preemptive sharing there.
+  uint32_t n = options_.workers != 0
+                   ? options_.workers
+                   : std::max(4u, std::thread::hardware_concurrency());
+  for (uint32_t i = 0; i < n; ++i) {
+    auto worker = std::make_unique<Worker>();
+    if (options_.metrics != nullptr) {
+      worker->steps_counter = options_.metrics->GetCounter(
+          "sched/worker" + std::to_string(i) + "/steps");
+    }
+    workers_.push_back(std::move(worker));
+  }
+  if (options_.metrics != nullptr) {
+    steps_total_ = options_.metrics->GetCounter("sched/steps");
+    steals_total_ = options_.metrics->GetCounter("sched/steals");
+    parks_total_ = options_.metrics->GetCounter("sched/parks");
+  }
+}
+
+WorkStealingScheduler::~WorkStealingScheduler() { Stop(); }
+
+void WorkStealingScheduler::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  stopping_.store(false);
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void WorkStealingScheduler::Stop() {
+  stopping_.store(true);
+  park_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+  // Release every entity that never reported kDone. Workers are joined, so
+  // all live entities sit in a run queue or the sleep queue.
+  std::vector<Entity*> orphans;
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    orphans.insert(orphans.end(), worker->queue.begin(),
+                   worker->queue.end());
+    worker->queue.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    while (!sleepers_.empty()) {
+      orphans.push_back(sleepers_.top().entity);
+      sleepers_.pop();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    live_.clear();
+  }
+  done_cv_.notify_all();
+  for (Entity* e : orphans) {
+    delete e;
+  }
+  running_.store(false);
+}
+
+Ticket WorkStealingScheduler::Submit(StepFn step, uint32_t affinity,
+                                     std::string label) {
+  auto* entity = new Entity();
+  entity->step = std::move(step);
+  entity->home = affinity % static_cast<uint32_t>(workers_.size());
+  entity->label = std::move(label);
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    entity->ticket = next_ticket_++;
+    live_[entity->ticket] = entity;
+  }
+  Ticket ticket = entity->ticket;
+  {
+    Worker& home = *workers_[entity->home];
+    std::lock_guard<std::mutex> lock(home.mu);
+    home.queue.push_back(entity);
+  }
+  park_cv_.notify_all();
+  return ticket;
+}
+
+void WorkStealingScheduler::Wait(Ticket ticket) {
+  if (ticket == kInvalidTicket) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [&] { return live_.find(ticket) == live_.end(); });
+}
+
+bool WorkStealingScheduler::Finished(Ticket ticket) const {
+  if (ticket == kInvalidTicket) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(done_mu_);
+  return live_.find(ticket) == live_.end();
+}
+
+WorkStealingScheduler::Entity* WorkStealingScheduler::PopLocal(
+    uint32_t index) {
+  Worker& worker = *workers_[index];
+  std::lock_guard<std::mutex> lock(worker.mu);
+  if (worker.queue.empty()) {
+    return nullptr;
+  }
+  Entity* e = worker.queue.front();  // owner pops FIFO
+  worker.queue.pop_front();
+  return e;
+}
+
+WorkStealingScheduler::Entity* WorkStealingScheduler::PopDueSleeper(
+    TimeNs now) {
+  std::lock_guard<std::mutex> lock(sleep_mu_);
+  if (sleepers_.empty() || sleepers_.top().due > now) {
+    return nullptr;
+  }
+  Entity* e = sleepers_.top().entity;
+  sleepers_.pop();
+  return e;
+}
+
+WorkStealingScheduler::Entity* WorkStealingScheduler::Steal(uint32_t thief) {
+  uint32_t n = static_cast<uint32_t>(workers_.size());
+  for (uint32_t i = 1; i < n; ++i) {
+    Worker& victim = *workers_[(thief + i) % n];
+    std::vector<Entity*> taken;
+    {
+      std::lock_guard<std::mutex> lock(victim.mu);
+      size_t count = (victim.queue.size() + 1) / 2;  // steal half
+      for (size_t k = 0; k < count; ++k) {
+        taken.push_back(victim.queue.back());  // thief takes from the back
+        victim.queue.pop_back();
+      }
+    }
+    if (taken.empty()) {
+      continue;
+    }
+    steals_.fetch_add(taken.size(), std::memory_order_relaxed);
+    BumpCounter(steals_total_, taken.size());
+    Entity* run = taken.back();
+    taken.pop_back();
+    if (!taken.empty()) {
+      Worker& self = *workers_[thief];
+      std::lock_guard<std::mutex> lock(self.mu);
+      for (auto rit = taken.rbegin(); rit != taken.rend(); ++rit) {
+        self.queue.push_back(*rit);
+      }
+    }
+    return run;
+  }
+  return nullptr;
+}
+
+void WorkStealingScheduler::Park(uint32_t index) {
+  (void)index;
+  std::unique_lock<std::mutex> lock(sleep_mu_);
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  BumpCounter(parks_total_);
+  DurationNs nap = kMaxParkNap;
+  if (!sleepers_.empty()) {
+    TimeNs now = clock_->Now();
+    if (sleepers_.top().due <= now) {
+      return;  // runnable sleeper: loop around and pick it up
+    }
+    nap = std::min<DurationNs>(nap, sleepers_.top().due - now);
+  }
+  park_cv_.wait_for(lock, std::chrono::nanoseconds(nap));
+}
+
+void WorkStealingScheduler::Finish(Entity* entity) {
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    live_.erase(entity->ticket);
+  }
+  done_cv_.notify_all();
+  delete entity;
+}
+
+void WorkStealingScheduler::WorkerLoop(uint32_t index) {
+  Worker& self = *workers_[index];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Entity* e = PopLocal(index);
+    if (e == nullptr) {
+      e = PopDueSleeper(clock_->Now());
+    }
+    if (e == nullptr) {
+      e = Steal(index);
+    }
+    if (e == nullptr) {
+      Park(index);
+      continue;
+    }
+    StepResult result = e->step();
+    steps_.fetch_add(1, std::memory_order_relaxed);
+    BumpCounter(steps_total_);
+    BumpCounter(self.steps_counter);
+    switch (result.outcome) {
+      case StepOutcome::kReady: {
+        std::lock_guard<std::mutex> lock(self.mu);
+        self.queue.push_back(e);
+        break;
+      }
+      case StepOutcome::kIdle: {
+        TimeNs due =
+            clock_->Now() + std::max(result.idle_delay, kMinIdleDelay);
+        std::lock_guard<std::mutex> lock(sleep_mu_);
+        sleepers_.push({due, e});
+        break;
+      }
+      case StepOutcome::kDone:
+        Finish(e);
+        break;
+    }
+  }
+}
+
+}  // namespace sched
+}  // namespace impeller

@@ -1,0 +1,156 @@
+// A work-stealing multicore scheduler for cooperative step-based tasks
+// (Hazelcast Jet's one-thread-per-core execution model; see PAPERS.md).
+//
+// Entities are step functions: each call runs one bounded slice of work and
+// reports kReady (run me again), kIdle (nothing to do; re-run after a
+// delay), or kDone (finished; release me). Workers own mutex-protected
+// run-queues; an owner pops FIFO from the front, a thief steals half from
+// the back of a victim's queue. Idle entities park in a global time-ordered
+// sleep queue that any worker drains. Workers with nothing runnable park on
+// a condition variable with a bounded nap, so a submit or a due sleeper
+// wakes them promptly.
+//
+// Placement: Submit takes an affinity hint mapped onto a home worker
+// (affinity % workers). The engine passes a task's input shard so a stage's
+// readers start near their shard's records; stealing redistributes from
+// there when load skews.
+#ifndef IMPELLER_SRC_SCHED_SCHEDULER_H_
+#define IMPELLER_SRC_SCHED_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+
+namespace impeller {
+namespace sched {
+
+enum class StepOutcome : uint8_t { kReady, kIdle, kDone };
+
+struct StepResult {
+  StepOutcome outcome = StepOutcome::kReady;
+  DurationNs idle_delay = 0;  // kIdle only: re-run no sooner than this
+
+  static StepResult Ready() { return {StepOutcome::kReady, 0}; }
+  static StepResult Idle(DurationNs delay) {
+    return {StepOutcome::kIdle, delay};
+  }
+  static StepResult Done() { return {StepOutcome::kDone, 0}; }
+};
+
+using StepFn = std::function<StepResult()>;
+using Ticket = uint64_t;
+constexpr Ticket kInvalidTicket = 0;
+
+struct SchedulerOptions {
+  uint32_t workers = 0;  // 0 = max(hardware concurrency, 4)
+  Clock* clock = nullptr;
+  MetricsRegistry* metrics = nullptr;  // "sched/*" counters when set
+  std::string name = "sched";
+};
+
+class WorkStealingScheduler {
+ public:
+  explicit WorkStealingScheduler(SchedulerOptions options = {});
+  ~WorkStealingScheduler();
+
+  WorkStealingScheduler(const WorkStealingScheduler&) = delete;
+  WorkStealingScheduler& operator=(const WorkStealingScheduler&) = delete;
+
+  void Start();  // idempotent
+  // Joins the workers. Entities that have not reported kDone are released
+  // without further steps and their tickets complete; callers that need a
+  // clean finish must stop their entities and Wait first.
+  void Stop();
+
+  // Registers an entity; it starts stepping once the scheduler runs.
+  // `affinity` picks the home worker (affinity % workers); `label` is for
+  // diagnostics.
+  Ticket Submit(StepFn step, uint32_t affinity = 0, std::string label = {});
+
+  // Blocks until the entity behind `ticket` reported kDone (or the
+  // scheduler stopped). Unknown or already-finished tickets return
+  // immediately.
+  void Wait(Ticket ticket);
+  bool Finished(Ticket ticket) const;
+
+  uint32_t workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  uint64_t parks() const { return parks_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entity {
+    StepFn step;
+    Ticket ticket = kInvalidTicket;
+    uint32_t home = 0;
+    std::string label;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<Entity*> queue;
+    Counter* steps_counter = nullptr;  // "sched/worker<i>/steps"
+  };
+
+  struct Sleeper {
+    TimeNs due = 0;
+    Entity* entity = nullptr;
+    bool operator>(const Sleeper& other) const { return due > other.due; }
+  };
+
+  void WorkerLoop(uint32_t index);
+  Entity* PopLocal(uint32_t index);
+  Entity* PopDueSleeper(TimeNs now);
+  Entity* Steal(uint32_t thief);
+  void Park(uint32_t index);
+  void Finish(Entity* entity);
+
+  SchedulerOptions options_;
+  Clock* clock_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Sleep queue + worker parking.
+  std::mutex sleep_mu_;
+  std::condition_variable park_cv_;
+  std::priority_queue<Sleeper, std::vector<Sleeper>, std::greater<Sleeper>>
+      sleepers_;
+
+  // Ticket lifecycle. `live_` holds every submitted-but-unfinished ticket.
+  mutable std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::unordered_map<Ticket, Entity*> live_;
+  Ticket next_ticket_ = 1;
+
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> parks_{0};
+  Counter* steps_total_ = nullptr;
+  Counter* steals_total_ = nullptr;
+  Counter* parks_total_ = nullptr;
+};
+
+}  // namespace sched
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_SCHED_SCHEDULER_H_

@@ -1,10 +1,9 @@
 #include "src/sharedlog/shared_log.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
-#include "src/fault/fault.h"
 #include "src/obs/trace.h"
 
 namespace impeller {
@@ -20,7 +19,10 @@ inline void Bump(Counter* counter, uint64_t n = 1) {
 }  // namespace
 
 SharedLog::SharedLog(SharedLogOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      metalog_(options_.name,
+               options_.clock != nullptr ? options_.clock
+                                         : MonotonicClock::Get()) {
   if (options_.clock == nullptr) {
     options_.clock = MonotonicClock::Get();
   }
@@ -28,6 +30,19 @@ SharedLog::SharedLog(SharedLogOptions options)
   if (options_.latency == nullptr) {
     options_.latency = std::make_shared<ZeroLatencyModel>();
   }
+  if (options_.shards == 0) {
+    options_.shards = 1;
+  }
+  for (uint32_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<LogShard>(s, options_.name,
+                                                 options_.latency, clock_));
+  }
+  std::vector<LogShard*> raw;
+  raw.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    raw.push_back(shard.get());
+  }
+  metalog_.AttachShards(std::move(raw));
   if (options_.metrics != nullptr) {
     counters_.appends = options_.metrics->GetCounter("log/appends");
     counters_.records = options_.metrics->GetCounter("log/records");
@@ -39,8 +54,14 @@ SharedLog::SharedLog(SharedLogOptions options)
         options_.metrics->GetCounter("log/bytes_appended");
     counters_.records_trimmed =
         options_.metrics->GetCounter("log/records_trimmed");
+    if (shards_.size() > 1) {
+      counters_.cuts = options_.metrics->GetCounter("log/cuts");
+      for (uint32_t s = 0; s < shards_.size(); ++s) {
+        counters_.shard_records.push_back(options_.metrics->GetCounter(
+            "log/shard" + std::to_string(s) + "/records"));
+      }
+    }
   }
-  last_append_time_ = clock_->Now();
 }
 
 Result<Lsn> SharedLog::Append(AppendRequest req) {
@@ -61,316 +82,164 @@ Result<std::vector<Lsn>> SharedLog::AppendBatch(
   return AppendBatchInternal(reqs);
 }
 
+uint32_t SharedLog::ShardOfTag(std::string_view tag) const {
+  if (shards_.size() == 1) {
+    return 0;
+  }
+  return PartitionFor(Fnv1a(tag), static_cast<uint32_t>(shards_.size()));
+}
+
+uint32_t SharedLog::PlaceShard(const std::vector<AppendRequest>& reqs) {
+  if (shards_.size() == 1) {
+    return 0;
+  }
+  // The whole batch lands on one shard so that admission (and therefore the
+  // batch's LSN range) stays atomic and contiguous. Tag-aware placement:
+  // all batches of a substream hit the same shard, keeping that substream's
+  // ordering on a single sequencer.
+  for (const auto& r : reqs) {
+    if (!r.tags.empty()) {
+      return ShardOfTag(r.tags[0]);
+    }
+  }
+  return static_cast<uint32_t>(rr_next_.fetch_add(1) % shards_.size());
+}
+
 Result<std::vector<Lsn>> SharedLog::AppendBatchInternal(
     std::vector<AppendRequest>& reqs) {
   TRACE_SPAN("log", "append");
-  TimeNs start = clock_->Now();
   size_t batch_bytes = 0;
   for (const auto& r : reqs) {
     batch_bytes += r.payload.size();
   }
-
-  LatencySample latency;
-  DurationNs injected_ack_delay = 0;
-  std::vector<Lsn> lsns;
-  lsns.reserve(reqs.size());
+  uint32_t shard = PlaceShard(reqs);
+  auto admitted = shards_[shard]->Admit(reqs, batch_bytes, meta_);
+  if (!admitted.ok()) {
+    if (admitted.status().code() == StatusCode::kFenced) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.fenced_appends += reqs.size();
+      Bump(counters_.fenced_appends, reqs.size());
+    }
+    return admitted.status();
+  }
+  auto lsns = metalog_.Sequence(shard, admitted->first_local,
+                                admitted->count);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Fault probe before any mutation: a transient append error (lost
-    // quorum, leader failover) rejects the whole batch with the requests
-    // untouched, so the caller's retry re-issues identical records.
-    if (auto f = IMPELLER_FAULT_PROBE("log/append", options_.name,
-                                      next_lsn_)) {
-      if (f.kind == fault::FaultKind::kError) {
-        TRACE_INSTANT("log", "append_unavailable");
-        return UnavailableError("injected append failure on " +
-                                options_.name);
-      }
-      if (f.kind == fault::FaultKind::kDelay) {
-        injected_ack_delay = f.delay;  // ack-latency spike, applied below
-      }
-    }
-    // Fencing check is atomic with LSN assignment: a zombie racing with the
-    // task manager's MetaIncrement is linearized here.
-    for (const auto& r : reqs) {
-      if (!r.cond_key.empty()) {
-        auto it = metadata_.find(r.cond_key);
-        uint64_t current = (it == metadata_.end()) ? 0 : it->second;
-        if (current != r.cond_value) {
-          stats_.fenced_appends += reqs.size();
-          Bump(counters_.fenced_appends, reqs.size());
-          TRACE_INSTANT("log", "append_fenced");
-          return FencedError("conditional append: " + r.cond_key + " is " +
-                             std::to_string(current) + ", expected " +
-                             std::to_string(r.cond_value));
-        }
-      }
-    }
-    DurationNs idle_gap = start - last_append_time_;
-    last_append_time_ = start;
-    latency = options_.latency->SampleAppend(batch_bytes, idle_gap);
-    for (auto& r : reqs) {
-      InternalRecord rec;
-      rec.entry.lsn = next_lsn_++;
-      rec.entry.tags = std::move(r.tags);
-      rec.entry.payload = std::move(r.payload);
-      rec.entry.append_time = start;
-      rec.entry.visible_time = start + latency.ack + latency.delivery;
-      rec.durable_time = start + latency.ack;
-      for (const auto& tag : rec.entry.tags) {
-        tag_index_[tag].push_back(rec.entry.lsn);
-      }
-      lsns.push_back(rec.entry.lsn);
-      records_.push_back(std::move(rec));
-    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.appends += 1;
-    stats_.records += reqs.size();
+    stats_.records += admitted->count;
     stats_.bytes_appended += batch_bytes;
   }
   Bump(counters_.appends);
-  Bump(counters_.records, lsns.size());
+  Bump(counters_.records, admitted->count);
   Bump(counters_.bytes_appended, batch_bytes);
-  // Readers blocked in AwaitNext wake up and re-check visibility.
-  cv_.notify_all();
+  if (shard < counters_.shard_records.size()) {
+    Bump(counters_.shard_records[shard], admitted->count);
+  }
   {
     // The appender observes the ack latency; records become visible to tag
     // readers only after the additional delivery latency (§2.3), so the gap
     // between this child span and the parent's end is exactly the modeled
     // ack round trip the protocols pay per sequential append.
     TRACE_SPAN("log", "append_ack_wait");
-    clock_->SleepFor(latency.ack + injected_ack_delay);
+    TimeNs wake = admitted->ack_done + admitted->injected_ack_delay;
+    TimeNs now = clock_->Now();
+    if (wake > now) {
+      clock_->SleepFor(wake - now);
+    }
   }
   return lsns;
-}
-
-Lsn SharedLog::FindFirstLocked(std::string_view tag, Lsn from) const {
-  auto it = tag_index_.find(std::string(tag));
-  if (it == tag_index_.end()) {
-    return kInvalidLsn;
-  }
-  const std::vector<Lsn>& lsns = it->second;
-  Lsn lower = std::max(from, base_lsn_);
-  auto pos = std::lower_bound(lsns.begin(), lsns.end(), lower);
-  if (pos == lsns.end()) {
-    return kInvalidLsn;
-  }
-  return *pos;
-}
-
-const SharedLog::InternalRecord* SharedLog::SlotLocked(Lsn lsn) const {
-  if (lsn < base_lsn_ || lsn >= next_lsn_) {
-    return nullptr;
-  }
-  return &records_[lsn - base_lsn_];
-}
-
-// Caller holds mu_. Serves (and clears) a fault-injected pending duplicate
-// for `tag`: the record was already returned once, and is handed out again
-// as if the consumer had re-fetched after a lost ack. Only a reader whose
-// cursor has passed the record gets it — redelivery duplicates data, it must
-// never let a reader skip ahead. Returns nullptr when no duplicate is due or
-// the record has since been trimmed.
-const SharedLog::InternalRecord* SharedLog::TakePendingDuplicateLocked(
-    std::string_view tag, Lsn from_lsn) {
-  auto it = dup_pending_.find(std::string(tag));
-  if (it == dup_pending_.end() || it->second >= from_lsn) {
-    return nullptr;
-  }
-  Lsn lsn = it->second;
-  dup_pending_.erase(it);
-  return SlotLocked(lsn);
-}
-
-// Caller holds mu_. Fault probe on a successful tag read; a kDuplicate
-// action arms redelivery of `lsn` on the next read of `tag`.
-void SharedLog::MaybeArmDuplicateLocked(std::string_view tag, Lsn lsn) {
-  if (auto f = IMPELLER_FAULT_PROBE("log/read", tag, lsn);
-      f.kind == fault::FaultKind::kDuplicate) {
-    dup_pending_[std::string(tag)] = lsn;
-  }
 }
 
 Result<LogEntry> SharedLog::ReadNext(std::string_view tag, Lsn from_lsn) {
   TRACE_SPAN("log", "read_next");
   Bump(counters_.reads);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.reads++;
-  if (const InternalRecord* dup = TakePendingDuplicateLocked(tag, from_lsn)) {
-    return dup->entry;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.reads++;
   }
-  if (auto it = tag_trimmed_high_.find(std::string(tag));
-      it != tag_trimmed_high_.end() && from_lsn <= it->second) {
-    // The cursor provably points at a record of this tag that was garbage
-    // collected; surface that instead of silently skipping data.
-    return TrimmedError("cursor " + std::to_string(from_lsn) +
-                        " at/below trimmed tag record " +
-                        std::to_string(it->second));
-  }
-  Lsn lsn = FindFirstLocked(tag, from_lsn);
-  if (lsn == kInvalidLsn) {
-    return NotFoundError("no record with tag");
-  }
-  const InternalRecord* rec = SlotLocked(lsn);
-  assert(rec != nullptr);
-  if (rec->entry.visible_time > clock_->Now()) {
-    return NotFoundError("next record not yet visible");
-  }
-  MaybeArmDuplicateLocked(tag, lsn);
-  return rec->entry;
+  return metalog_.ReadNext(tag, from_lsn);
 }
 
 Result<LogEntry> SharedLog::AwaitNext(std::string_view tag, Lsn from_lsn,
                                       DurationNs timeout) {
   TRACE_SPAN("log", "await_next");
   Bump(counters_.reads);
-  TimeNs deadline = clock_->Now() + timeout;
-  std::unique_lock<std::mutex> lock(mu_);
-  stats_.reads++;
-  while (true) {
-    if (const InternalRecord* dup =
-            TakePendingDuplicateLocked(tag, from_lsn)) {
-      return dup->entry;
-    }
-    if (auto it = tag_trimmed_high_.find(std::string(tag));
-        it != tag_trimmed_high_.end() && from_lsn <= it->second) {
-      return TrimmedError("cursor at/below trimmed tag record");
-    }
-    Lsn lsn = FindFirstLocked(tag, from_lsn);
-    TimeNs now = clock_->Now();
-    if (lsn != kInvalidLsn) {
-      const InternalRecord* rec = SlotLocked(lsn);
-      assert(rec != nullptr);
-      if (rec->entry.visible_time <= now) {
-        MaybeArmDuplicateLocked(tag, lsn);
-        return rec->entry;
-      }
-      if (now >= deadline) {
-        return DeadlineExceededError("AwaitNext timed out");
-      }
-      DurationNs wait = std::min(rec->entry.visible_time, deadline) - now;
-      cv_.wait_for(lock, std::chrono::nanoseconds(wait));
-      continue;
-    }
-    if (now >= deadline) {
-      return DeadlineExceededError("AwaitNext timed out");
-    }
-    cv_.wait_for(lock, std::chrono::nanoseconds(deadline - now));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.reads++;
   }
+  return metalog_.AwaitNext(tag, from_lsn, timeout);
 }
 
 Result<LogEntry> SharedLog::ReadLast(std::string_view tag) {
   TRACE_SPAN("log", "read_last");
   Bump(counters_.reads);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.reads++;
-  auto it = tag_index_.find(std::string(tag));
-  if (it == tag_index_.end() || it->second.empty()) {
-    return NotFoundError("no record with tag");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.reads++;
   }
-  TimeNs now = clock_->Now();
-  const std::vector<Lsn>& lsns = it->second;
-  for (auto rit = lsns.rbegin(); rit != lsns.rend(); ++rit) {
-    const InternalRecord* rec = SlotLocked(*rit);
-    if (rec == nullptr) {
-      break;  // remaining entries are below the trim point
-    }
-    if (rec->durable_time <= now) {
-      return rec->entry;
-    }
-  }
-  return NotFoundError("no durable record with tag");
+  return metalog_.ReadLast(tag);
 }
 
 Result<LogEntry> SharedLog::ReadAt(Lsn lsn) {
   TRACE_SPAN("log", "read_at");
   Bump(counters_.reads);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.reads++;
-  if (lsn < base_lsn_) {
-    return TrimmedError("record trimmed");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.reads++;
   }
-  const InternalRecord* rec = SlotLocked(lsn);
-  if (rec == nullptr) {
-    return OutOfRangeError("lsn beyond tail");
-  }
-  if (rec->durable_time > clock_->Now()) {
-    return NotFoundError("record not yet durable");
-  }
-  return rec->entry;
+  return metalog_.ReadAt(lsn);
 }
 
-Lsn SharedLog::TailLsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_lsn_;
-}
+Lsn SharedLog::TailLsn() const { return metalog_.TailLsn(); }
 
 Status SharedLog::Trim(Lsn new_trim_point) {
   TRACE_SPAN("log", "trim");
-  std::lock_guard<std::mutex> lock(mu_);
-  if (new_trim_point > next_lsn_) {
-    return OutOfRangeError("trim point beyond tail");
+  uint64_t dropped = 0;
+  Status st = metalog_.Trim(new_trim_point, &dropped);
+  if (!st.ok() || dropped == 0) {
+    return st;
   }
-  if (new_trim_point <= base_lsn_) {
-    return OkStatus();  // idempotent / stale trim
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.trims++;
+    stats_.records_trimmed += dropped;
   }
-  uint64_t dropped = new_trim_point - base_lsn_;
   Bump(counters_.trims);
   Bump(counters_.records_trimmed, dropped);
-  records_.erase(records_.begin(), records_.begin() + dropped);
-  base_lsn_ = new_trim_point;
-  for (auto& [tag, lsns] : tag_index_) {
-    auto pos = std::lower_bound(lsns.begin(), lsns.end(), base_lsn_);
-    if (pos != lsns.begin()) {
-      tag_trimmed_high_[tag] = *(pos - 1);
-      lsns.erase(lsns.begin(), pos);
-    }
-  }
-  stats_.trims++;
-  stats_.records_trimmed += dropped;
-  // Readers blocked in AwaitNext below the new trim point must observe
-  // kTrimmed now, not after their visibility/deadline wait expires.
-  cv_.notify_all();
   return OkStatus();
 }
 
-Lsn SharedLog::TrimPoint() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return base_lsn_;
-}
+Lsn SharedLog::TrimPoint() const { return metalog_.TrimPoint(); }
+
+void SharedLog::Close() { metalog_.Close(); }
 
 void SharedLog::MetaPut(std::string_view key, uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  metadata_[std::string(key)] = value;
+  meta_.Put(std::string(key), value);
 }
 
 Result<uint64_t> SharedLog::MetaGet(std::string_view key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = metadata_.find(std::string(key));
-  if (it == metadata_.end()) {
-    return NotFoundError("no metadata key " + std::string(key));
-  }
-  return it->second;
+  return meta_.Get(std::string(key));
 }
 
 uint64_t SharedLog::MetaIncrement(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ++metadata_[std::string(key)];
+  return meta_.Increment(std::string(key));
 }
 
 bool SharedLog::MetaCas(std::string_view key, uint64_t expected,
                         uint64_t desired) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t& slot = metadata_[std::string(key)];
-  if (slot != expected) {
-    return false;
-  }
-  slot = desired;
-  return true;
+  return meta_.Cas(std::string(key), expected, desired);
 }
 
 SharedLogStats SharedLog::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SharedLogStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.cuts = metalog_.cuts();
+  return out;
 }
 
 }  // namespace impeller

@@ -13,18 +13,23 @@
 //  * a calibrated latency model: appends block for an "ack" latency and
 //    become visible to tag readers after an additional "delivery" latency.
 //
+// Internally the log is sharded (DESIGN.md §8): each batch is placed on one
+// shard by the hash of its first tag, admitted by that shard's sequencer at
+// local offsets, and assigned its global LSNs when the metalog publishes
+// the next cut. At `shards = 1` (the default) this degenerates to the
+// classic single totally-ordered log. The public API is shard-agnostic;
+// only placement (`ShardOfTag`) and `Close` expose the sharding.
+//
 // Thread safety: all public methods are safe to call concurrently.
 #ifndef IMPELLER_SRC_SHAREDLOG_SHARED_LOG_H_
 #define IMPELLER_SRC_SHAREDLOG_SHARED_LOG_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -32,6 +37,8 @@
 #include "src/common/status.h"
 #include "src/sharedlog/latency_model.h"
 #include "src/sharedlog/log_record.h"
+#include "src/sharedlog/sharding/metalog.h"
+#include "src/sharedlog/sharding/shard.h"
 
 namespace impeller {
 
@@ -43,6 +50,10 @@ struct SharedLogOptions {
   // Optional: when set, the log mirrors its SharedLogStats into "log/*"
   // counters so metric exporters see log traffic without polling stats().
   MetricsRegistry* metrics = nullptr;
+  // Number of shards (independent sequencers). 1 = the classic single
+  // totally-ordered log; more shards admit batches concurrently while the
+  // metalog interleaves their cuts into the global order.
+  uint32_t shards = 1;
 };
 
 struct SharedLogStats {
@@ -53,6 +64,7 @@ struct SharedLogStats {
   uint64_t trims = 0;
   uint64_t bytes_appended = 0;
   uint64_t records_trimmed = 0;
+  uint64_t cuts = 0;  // metalog cuts that sequenced >= 1 record
 };
 
 class SharedLog {
@@ -65,11 +77,12 @@ class SharedLog {
   Result<Lsn> Append(AppendRequest req);
 
   // Appends a batch atomically in arrival order with one shared ack latency
-  // (models the 128 KiB output buffer flush, §5.3). If any conditional
-  // check fails the whole batch is rejected with kFenced. Consumes the
-  // requests (payloads are moved out) only on success; on any failure —
-  // fencing, injected kUnavailable — `reqs` is left intact so callers can
-  // retry the same batch without copying.
+  // (models the 128 KiB output buffer flush, §5.3). The whole batch lands
+  // on one shard, so its LSNs are contiguous in the global order. If any
+  // conditional check fails the whole batch is rejected with kFenced.
+  // Consumes the requests (payloads are moved out) only on success; on any
+  // failure — fencing, injected kUnavailable — `reqs` is left intact so
+  // callers can retry the same batch without copying.
   Result<std::vector<Lsn>> AppendBatch(std::vector<AppendRequest>& reqs);
 
   // Selective read: the first record tagged `tag` with lsn >= from_lsn.
@@ -78,7 +91,8 @@ class SharedLog {
   // rather than skipping ahead.
   Result<LogEntry> ReadNext(std::string_view tag, Lsn from_lsn);
 
-  // Blocking variant of ReadNext with a timeout (kDeadlineExceeded).
+  // Blocking variant of ReadNext with a timeout (kDeadlineExceeded). After
+  // Close() blocked readers on every shard wake with kUnavailable.
   Result<LogEntry> AwaitNext(std::string_view tag, Lsn from_lsn,
                              DurationNs timeout);
 
@@ -90,13 +104,19 @@ class SharedLog {
   // Direct read of a durable record by LSN.
   Result<LogEntry> ReadAt(Lsn lsn);
 
-  // The LSN that the next append will receive.
+  // The next global LSN the metalog will assign.
   Lsn TailLsn() const;
 
   // Garbage collection: drops all records with lsn < new_trim_point.
-  // Reading below the trim point reports kTrimmed.
+  // Reading below the trim point reports kTrimmed. Wakes readers blocked in
+  // AwaitNext on every shard.
   Status Trim(Lsn new_trim_point);
   Lsn TrimPoint() const;
+
+  // Shutdown: wakes every reader blocked in AwaitNext (kUnavailable once no
+  // data remains). Reads of existing records keep working; appends after
+  // Close are still admitted (teardown stragglers).
+  void Close();
 
   // --- Key-value configuration metadata (paper §3.4). ---
   void MetaPut(std::string_view key, uint64_t value);
@@ -106,30 +126,23 @@ class SharedLog {
   uint64_t MetaIncrement(std::string_view key);
   bool MetaCas(std::string_view key, uint64_t expected, uint64_t desired);
 
+  // Placement: the shard a batch whose first tag is `tag` lands on. Used by
+  // the engine for shard-affine task placement.
+  uint32_t ShardOfTag(std::string_view tag) const;
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
   SharedLogStats stats() const;
   const std::string& name() const { return options_.name; }
 
  private:
-  struct InternalRecord {
-    LogEntry entry;
-    TimeNs durable_time = 0;
-    bool trimmed = false;
-  };
-
-  // Returns the smallest indexed LSN >= from for `tag`, or kInvalidLsn.
-  // Caller holds mu_.
-  Lsn FindFirstLocked(std::string_view tag, Lsn from) const;
-
-  // Caller holds mu_. Slot for an LSN, or nullptr if trimmed/out of range.
-  const InternalRecord* SlotLocked(Lsn lsn) const;
-
-  // Fault-injection support (see dup_pending_). Callers hold mu_.
-  const InternalRecord* TakePendingDuplicateLocked(std::string_view tag,
-                                                   Lsn from_lsn);
-  void MaybeArmDuplicateLocked(std::string_view tag, Lsn lsn);
-
   Result<std::vector<Lsn>> AppendBatchInternal(
       std::vector<AppendRequest>& reqs);
+
+  // The shard a batch is placed on: hash of the first non-empty tag list's
+  // first tag, round-robin for untagged batches.
+  uint32_t PlaceShard(const std::vector<AppendRequest>& reqs);
 
   // Pre-resolved "log/*" counters mirroring SharedLogStats; all nullptr when
   // no registry was configured.
@@ -141,28 +154,22 @@ class SharedLog {
     Counter* trims = nullptr;
     Counter* bytes_appended = nullptr;
     Counter* records_trimmed = nullptr;
+    Counter* cuts = nullptr;
+    // Per-shard appended-record counters ("log/shard<i>/records"); only
+    // registered when the log actually has multiple shards.
+    std::vector<Counter*> shard_records;
   };
 
   SharedLogOptions options_;
   Clock* clock_;
   StatCounters counters_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<InternalRecord> records_;  // records_[i] has lsn base_lsn_ + i
-  Lsn base_lsn_ = 0;                    // == trim point
-  Lsn next_lsn_ = 0;
-  std::unordered_map<std::string, std::vector<Lsn>> tag_index_;
-  // Highest LSN ever trimmed per tag: a cursor at or below this value has
-  // provably missed records and must observe kTrimmed.
-  std::unordered_map<std::string, Lsn> tag_trimmed_high_;
-  // Fault injection (kDuplicate on "log/read"): LSN of a record already
-  // returned for this tag that the next read should deliver again. Models a
-  // consumer reconnecting after a lost ack and re-fetching from its previous
-  // cursor.
-  std::unordered_map<std::string, Lsn> dup_pending_;
-  std::unordered_map<std::string, uint64_t> metadata_;
-  TimeNs last_append_time_ = 0;
+  FencingTable meta_;
+  std::vector<std::unique_ptr<LogShard>> shards_;
+  Metalog metalog_;
+  std::atomic<uint64_t> rr_next_{0};  // round-robin for untagged batches
+
+  mutable std::mutex stats_mu_;
   SharedLogStats stats_;
 };
 

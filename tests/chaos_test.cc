@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -208,9 +209,11 @@ struct ChaosOutcome {
 // One full Q1 run: submit, feed the fixed bid stream in bursts (faults
 // armed), disarm, wait for the committed output to converge, stop, read.
 Result<ChaosOutcome> RunQ1(ProtocolKind protocol, uint64_t seed,
-                           std::vector<FaultSchedule> schedules) {
+                           std::vector<FaultSchedule> schedules,
+                           uint32_t shards) {
   EngineOptions options;
   options.config = ChaosConfig(protocol);
+  options.config.log_shards = shards;
   options.name = "chaos";
   Engine engine(std::move(options));
 
@@ -261,25 +264,30 @@ Result<ChaosOutcome> RunQ1(ProtocolKind protocol, uint64_t seed,
   return outcome;
 }
 
-class ChaosTest : public ::testing::TestWithParam<ProtocolKind> {};
+// Parameterized over (protocol, shard count): exactly-once recovery and
+// byte-identical committed output must hold whether the shared log runs
+// one sequencer or several interleaved by the metalog.
+class ChaosTest
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, uint32_t>> {};
 
 TEST_P(ChaosTest, CommittedOutputIsIdenticalToFaultFreeRun) {
 #if !defined(IMPELLER_FAULT_INJECTION_ENABLED)
   GTEST_SKIP() << "built with IMPELLER_FAULT_INJECTION=OFF";
 #else
-  ProtocolKind protocol = GetParam();
+  auto [protocol, shards] = GetParam();
 
-  auto baseline = RunQ1(protocol, /*seed=*/0, {});
+  auto baseline = RunQ1(protocol, /*seed=*/0, {}, shards);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   ASSERT_EQ(baseline->lines.size(), kNumEvents)
       << "fault-free run must commit every input exactly once";
 
   for (uint64_t seed = 1; seed <= kNumChaosSeeds; ++seed) {
     SCOPED_TRACE("protocol=" + std::string(ProtocolKindName(protocol)) +
+                 " shards=" + std::to_string(shards) +
                  " chaos seed=" + std::to_string(seed) +
                  " (replay: same seed reproduces the schedule set and every "
                  "injection decision)");
-    auto run = RunQ1(protocol, seed, DeriveSchedules(protocol, seed));
+    auto run = RunQ1(protocol, seed, DeriveSchedules(protocol, seed), shards);
     ASSERT_TRUE(run.ok()) << run.status().ToString();
     EXPECT_GT(run->fault_fires, 0u)
         << "schedule set for seed " << seed << " never fired";
@@ -289,18 +297,21 @@ TEST_P(ChaosTest, CommittedOutputIsIdenticalToFaultFreeRun) {
 }
 
 std::string ProtocolTestName(
-    const ::testing::TestParamInfo<ProtocolKind>& info) {
-  std::string name = ProtocolKindName(info.param);
+    const ::testing::TestParamInfo<std::tuple<ProtocolKind, uint32_t>>&
+        info) {
+  std::string name = ProtocolKindName(std::get<0>(info.param));
   std::replace(name.begin(), name.end(), '-', '_');
-  return name;
+  return name + "_shards" + std::to_string(std::get<1>(info.param));
 }
 
-INSTANTIATE_TEST_SUITE_P(AllProtocols, ChaosTest,
-                         ::testing::Values(ProtocolKind::kProgressMarking,
-                                           ProtocolKind::kKafkaTxn,
-                                           ProtocolKind::kAlignedCheckpoint,
-                                           ProtocolKind::kUnsafe),
-                         ProtocolTestName);
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ChaosTest,
+    ::testing::Combine(::testing::Values(ProtocolKind::kProgressMarking,
+                                         ProtocolKind::kKafkaTxn,
+                                         ProtocolKind::kAlignedCheckpoint,
+                                         ProtocolKind::kUnsafe),
+                       ::testing::Values(1u, 3u)),
+    ProtocolTestName);
 
 }  // namespace
 }  // namespace impeller
