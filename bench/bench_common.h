@@ -77,21 +77,46 @@ inline uint64_t& MutableBenchSeed() {
 // fault schedules. Set by --seed / IMPELLER_BENCH_SEED.
 inline uint64_t BenchSeed() { return MutableBenchSeed(); }
 
-inline uint32_t EnvU32(const char* name, uint32_t fallback) {
+// Strict count parser shared by the flag and env paths: `what` names the
+// knob in the error. Rejects junk, trailing characters, and values outside
+// [min_value, max_value] — a zero-shard or negative-worker engine would
+// otherwise misconfigure silently (shards clamp, workers wrap).
+inline uint32_t ParseCount(const char* what, const char* value,
+                           long long min_value, long long max_value) {
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < min_value ||
+      parsed > max_value) {
+    std::fprintf(stderr,
+                 "impeller: invalid %s '%s': expected an integer in "
+                 "[%lld, %lld]\n",
+                 what, value, min_value, max_value);
+    std::exit(2);
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+inline uint32_t EnvCount(const char* name, uint32_t fallback,
+                         long long min_value, long long max_value) {
   const char* v = std::getenv(name);
   if (v == nullptr) {
     return fallback;
   }
-  return static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+  return ParseCount(name, v, min_value, max_value);
 }
 
+inline constexpr long long kMaxShards = 1024;
+inline constexpr long long kMaxWorkers = 4096;
+inline constexpr long long kMaxTasks = 4096;
+
 inline uint32_t& MutableBenchShards() {
-  static uint32_t shards = EnvU32("IMPELLER_SHARDS", 1);
+  static uint32_t shards = EnvCount("IMPELLER_SHARDS", 1, 1, kMaxShards);
   return shards;
 }
 
 inline uint32_t& MutableBenchWorkers() {
-  static uint32_t workers = EnvU32("IMPELLER_WORKERS", 0);
+  // 0 is valid: one worker per hardware thread.
+  static uint32_t workers = EnvCount("IMPELLER_WORKERS", 0, 0, kMaxWorkers);
   return workers;
 }
 
@@ -104,7 +129,7 @@ inline uint32_t BenchShards() { return MutableBenchShards(); }
 inline uint32_t BenchWorkers() { return MutableBenchWorkers(); }
 
 inline uint32_t& MutableBenchTasks() {
-  static uint32_t tasks = EnvU32("IMPELLER_TASKS", 2);
+  static uint32_t tasks = EnvCount("IMPELLER_TASKS", 2, 1, kMaxTasks);
   return tasks;
 }
 
@@ -142,17 +167,19 @@ inline void InitBench(int* argc, char** argv) {
     } else if (arg == "--seed" && i + 1 < *argc) {
       MutableBenchSeed() = u64(argv[++i]);
     } else if (arg.rfind("--shards=", 0) == 0) {
-      MutableBenchShards() = static_cast<uint32_t>(u64(argv[i] + 9));
+      MutableBenchShards() = ParseCount("--shards", argv[i] + 9, 1, kMaxShards);
     } else if (arg == "--shards" && i + 1 < *argc) {
-      MutableBenchShards() = static_cast<uint32_t>(u64(argv[++i]));
+      MutableBenchShards() = ParseCount("--shards", argv[++i], 1, kMaxShards);
     } else if (arg.rfind("--workers=", 0) == 0) {
-      MutableBenchWorkers() = static_cast<uint32_t>(u64(argv[i] + 10));
+      MutableBenchWorkers() =
+          ParseCount("--workers", argv[i] + 10, 0, kMaxWorkers);
     } else if (arg == "--workers" && i + 1 < *argc) {
-      MutableBenchWorkers() = static_cast<uint32_t>(u64(argv[++i]));
+      MutableBenchWorkers() =
+          ParseCount("--workers", argv[++i], 0, kMaxWorkers);
     } else if (arg.rfind("--tasks=", 0) == 0) {
-      MutableBenchTasks() = static_cast<uint32_t>(u64(argv[i] + 8));
+      MutableBenchTasks() = ParseCount("--tasks", argv[i] + 8, 1, kMaxTasks);
     } else if (arg == "--tasks" && i + 1 < *argc) {
-      MutableBenchTasks() = static_cast<uint32_t>(u64(argv[++i]));
+      MutableBenchTasks() = ParseCount("--tasks", argv[++i], 1, kMaxTasks);
     } else {
       argv[out++] = argv[i];
     }

@@ -30,10 +30,17 @@ struct RetryPolicy {
   double multiplier = 2.0;
   DurationNs max_backoff = 20 * kMillisecond;
   double jitter = 0.25;  // each backoff scaled by U[1-jitter, 1+jitter]
+  // Total elapsed-time budget across all attempts, backoff sleeps included
+  // (0 = unbounded). A permanently failed dependency stops costing time
+  // here even when max_attempts would allow further tries.
+  DurationNs max_elapsed = 30 * kSecond;
 };
 
 // Only kUnavailable is transient. kFenced in particular must NOT be retried:
 // it means this writer is a zombie and retrying would fight the replacement.
+// kSealed likewise: the shard is gone for good — the log client re-places
+// the batch at the new placement epoch instead of hammering a sealed
+// sequencer.
 inline bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
 }
@@ -69,10 +76,12 @@ class Retrier {
   }
 
   // fn: () -> Status or () -> Result<T>. Returns the first non-retryable
-  // outcome, or the last attempt's outcome once attempts are exhausted.
+  // outcome, or the last attempt's outcome once attempts or the elapsed-time
+  // budget are exhausted.
   // `op` names the operation for trace events; must be a string literal.
   template <typename Fn>
   auto Run(const char* op, Fn&& fn) -> decltype(fn()) {
+    TimeNs start = clock_->Now();
     int attempt = 0;
     DurationNs backoff = policy_.initial_backoff;
     while (true) {
@@ -89,11 +98,22 @@ class Retrier {
         }
         return outcome;
       }
+      DurationNs sleep = JitteredBackoff(backoff);
+      if (policy_.max_elapsed > 0 &&
+          (clock_->Now() - start) + sleep >= policy_.max_elapsed) {
+        // The next backoff would blow the total budget: give up now rather
+        // than sleep into a deadline we already know we'll miss.
+        if (exhausted_ != nullptr) {
+          exhausted_->Add();
+        }
+        TRACE_INSTANT("retry", "budget_exhausted");
+        return outcome;
+      }
       if (retries_ != nullptr) {
         retries_->Add();
       }
       TRACE_INSTANT("retry", op);
-      clock_->SleepFor(JitteredBackoff(backoff));
+      clock_->SleepFor(sleep);
       backoff = std::min<DurationNs>(
           static_cast<DurationNs>(backoff * policy_.multiplier),
           policy_.max_backoff);

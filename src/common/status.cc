@@ -12,6 +12,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ALREADY_EXISTS";
     case StatusCode::kFenced:
       return "FENCED";
+    case StatusCode::kSealed:
+      return "SEALED";
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
     case StatusCode::kTrimmed:

@@ -17,6 +17,7 @@ enum class StatusCode {
   kNotFound,        // key / LSN / tag does not exist
   kAlreadyExists,   // duplicate append, key collision
   kFenced,          // conditional append rejected (stale instance number)
+  kSealed,          // shard sealed by failover; re-place at the new epoch
   kOutOfRange,      // LSN beyond tail or before trim point
   kTrimmed,         // record removed by garbage collection
   kUnavailable,     // component stopped or simulated failure in effect
@@ -61,6 +62,9 @@ inline Status AlreadyExistsError(std::string msg) {
 }
 inline Status FencedError(std::string msg) {
   return Status(StatusCode::kFenced, std::move(msg));
+}
+inline Status SealedError(std::string msg) {
+  return Status(StatusCode::kSealed, std::move(msg));
 }
 inline Status OutOfRangeError(std::string msg) {
   return Status(StatusCode::kOutOfRange, std::move(msg));

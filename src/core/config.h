@@ -9,6 +9,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/retry.h"
+#include "src/sharedlog/sharding/failover.h"
 
 namespace impeller {
 
@@ -61,6 +62,11 @@ struct EngineConfig {
   // Shared-log sharding: per-shard sequencers interleaved by the metalog
   // into one total order. 1 = single sequencer (seed behavior).
   uint32_t log_shards = 1;
+
+  // Shard failure detection / seal protocol (DESIGN.md §10): when a shard
+  // stops admitting, the log seals it and bumps the placement epoch so
+  // pipelines keep appending to the survivors.
+  FailoverOptions log_failover;
 
   // Workers in the engine's work-stealing task scheduler. 0 = one per
   // hardware thread (floored at 4 so small machines keep preemptive

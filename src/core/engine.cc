@@ -14,6 +14,7 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   log_opts.clock = clock_;
   log_opts.metrics = &metrics_;
   log_opts.shards = options_.config.log_shards;
+  log_opts.failover = options_.config.log_failover;
   log_ = std::make_unique<SharedLog>(std::move(log_opts));
   KvStoreOptions kv_opts;
   kv_opts.wal_path = options_.kv_wal_path;

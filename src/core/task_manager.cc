@@ -22,6 +22,10 @@ Status TaskManager::Submit(QueryPlan plan) {
     return InvalidArgumentError(
         "one TaskManager runs one query (one shared log per query, §3.1)");
   }
+  if (config_.log_shards == 0) {
+    return InvalidArgumentError(
+        "log_shards must be >= 1: zero sequencers cannot order anything");
+  }
   plan_ = std::move(plan);
   submitted_ = true;
 
@@ -149,6 +153,10 @@ void TaskManager::Stop() {
   if (!submitted_) {
     return;
   }
+  // Fences CrashTask/RestartTask/StartReplacement: a restart racing the
+  // shutdown could otherwise submit a task to a scheduler whose workers are
+  // already joined, and then spin forever waiting for it to start.
+  stopping_.store(true);
   running_.store(false);
   monitor_.Join();
   // Stop stages in topological order so each stage's final cut is already
@@ -211,6 +219,9 @@ void TaskManager::Stop() {
 
 Status TaskManager::CrashTask(const std::string& task_id) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_.load()) {
+    return UnavailableError("task manager is stopping");
+  }
   auto it = tasks_.find(task_id);
   if (it == tasks_.end() || it->second.runtime == nullptr) {
     return NotFoundError("unknown task " + task_id);
@@ -223,6 +234,9 @@ Result<RecoveryStats> TaskManager::RestartTask(const std::string& task_id) {
   TaskRuntime* rt = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      return UnavailableError("task manager is stopping");
+    }
     auto it = tasks_.find(task_id);
     if (it == tasks_.end()) {
       return NotFoundError("unknown task " + task_id);
@@ -236,6 +250,12 @@ Result<RecoveryStats> TaskManager::RestartTask(const std::string& task_id) {
     rt = entry.runtime.get();
   }
   while (!rt->started() && !rt->finished()) {
+    if (stopping_.load()) {
+      // Shutdown owns the task now: Stop() requests its stop and waits its
+      // ticket, so the restart's recovery never completes. Bail out rather
+      // than spin against a draining scheduler.
+      return UnavailableError("task manager stopped during restart");
+    }
     clock_->SleepFor(100 * kMicrosecond);
   }
   if (rt->finished() && !rt->final_status().ok()) {
@@ -246,6 +266,9 @@ Result<RecoveryStats> TaskManager::RestartTask(const std::string& task_id) {
 
 Status TaskManager::StartReplacement(const std::string& task_id) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_.load()) {
+    return UnavailableError("task manager is stopping");
+  }
   auto it = tasks_.find(task_id);
   if (it == tasks_.end()) {
     return NotFoundError("unknown task " + task_id);

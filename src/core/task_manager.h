@@ -127,6 +127,9 @@ class TaskManager {
   std::unique_ptr<GcWorker> gc_worker_;
 
   std::atomic<bool> running_{false};
+  // Set (and never cleared) at the head of Stop(): restarts/replacements
+  // arriving after it return kUnavailable instead of racing the shutdown.
+  std::atomic<bool> stopping_{false};
   JoiningThread monitor_;
 };
 

@@ -1,0 +1,44 @@
+#include "src/sharedlog/sharding/failover.h"
+
+namespace impeller {
+
+ShardFailureDetector::ShardFailureDetector(FailoverOptions options,
+                                           uint32_t num_shards, TimeNs now)
+    : options_(options) {
+  states_.resize(num_shards);
+  for (auto& s : states_) {
+    s.last_success = now;
+  }
+}
+
+void ShardFailureDetector::RecordSuccess(uint32_t shard, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardState& s = states_[shard];
+  s.consecutive = 0;
+  s.last_success = now;
+}
+
+bool ShardFailureDetector::RecordFailure(uint32_t shard, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardState& s = states_[shard];
+  ++s.consecutive;
+  if (s.consecutive >= options_.suspect_after) {
+    return true;
+  }
+  return options_.heartbeat_gap > 0 &&
+         now - s.last_success > options_.heartbeat_gap;
+}
+
+void ShardFailureDetector::Reset(uint32_t shard, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardState& s = states_[shard];
+  s.consecutive = 0;
+  s.last_success = now;
+}
+
+int ShardFailureDetector::consecutive_failures(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_[shard].consecutive;
+}
+
+}  // namespace impeller

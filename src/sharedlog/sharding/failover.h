@@ -1,0 +1,74 @@
+// Shard failure detection for the sharded shared log (DESIGN.md §10). The
+// detector is the *suspicion* half of the seal protocol: it watches every
+// shard's append outcomes and decides when a shard should be treated as
+// dead. Sealing itself (final cut, durable seal record, epoch bump) is the
+// log client's job — see SharedLog::SealShard.
+//
+// Two suspicion rules, mirroring a phi-accrual-style detector collapsed to
+// its in-process essentials:
+//  * consecutive failures: `suspect_after` kUnavailable admits in a row on
+//    one shard with no intervening success;
+//  * heartbeat gap: any failure on a shard whose last successful admit is
+//    more than `heartbeat_gap` in the past. (A pure gap with no failure is
+//    indistinguishable from idleness in-process, so the gap rule only fires
+//    on evidence.)
+#ifndef IMPELLER_SRC_SHAREDLOG_SHARDING_FAILOVER_H_
+#define IMPELLER_SRC_SHAREDLOG_SHARDING_FAILOVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace impeller {
+
+struct FailoverOptions {
+  // Suspect-and-seal automatically from the append path. When false, only
+  // explicit SealShard calls reconfigure the log; failed appends keep
+  // returning kUnavailable to the caller's retry policy.
+  bool auto_seal = true;
+  // Consecutive kUnavailable admits on one shard before it is suspected.
+  // Must stay below RetryPolicy::max_attempts so a single retried append
+  // crosses the threshold, seals, and still succeeds within its budget.
+  int suspect_after = 3;
+  // A failure on a shard that has not admitted successfully for this long
+  // is suspected immediately, regardless of the consecutive count.
+  DurationNs heartbeat_gap = 2 * kSecond;
+};
+
+class ShardFailureDetector {
+ public:
+  ShardFailureDetector(FailoverOptions options, uint32_t num_shards,
+                       TimeNs now);
+
+  // A successful admit: clears the shard's consecutive-failure streak and
+  // refreshes its heartbeat.
+  void RecordSuccess(uint32_t shard, TimeNs now);
+
+  // A kUnavailable admit. Returns true when the shard is now suspect and
+  // should be sealed.
+  bool RecordFailure(uint32_t shard, TimeNs now);
+
+  // Forgets the shard's history (sealed shards stop being tracked; rejoined
+  // shards restart with a fresh heartbeat).
+  void Reset(uint32_t shard, TimeNs now);
+
+  int consecutive_failures(uint32_t shard) const;
+
+  const FailoverOptions& options() const { return options_; }
+
+ private:
+  struct ShardState {
+    int consecutive = 0;
+    TimeNs last_success = 0;  // last successful admit (or attach/reset time)
+  };
+
+  const FailoverOptions options_;
+  mutable std::mutex mu_;
+  std::vector<ShardState> states_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_SHAREDLOG_SHARDING_FAILOVER_H_

@@ -80,6 +80,19 @@ std::vector<Lsn> Metalog::Sequence(uint32_t shard, uint64_t first_local,
   return lsns;
 }
 
+Lsn Metalog::SealCut() {
+  Lsn boundary;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PublishCutLocked();
+    boundary = next_lsn_;
+  }
+  // The final cut may have made records visible; wake blocked readers so
+  // they re-check instead of waiting out their visibility estimate.
+  cv_.notify_all();
+  return boundary;
+}
+
 Lsn Metalog::FindFirstLocked(std::string_view tag, Lsn from) const {
   auto it = tag_index_.find(std::string(tag));
   if (it == tag_index_.end()) {

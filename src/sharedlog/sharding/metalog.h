@@ -50,6 +50,14 @@ class Metalog {
   std::vector<Lsn> Sequence(uint32_t shard, uint64_t first_local,
                             uint64_t count);
 
+  // Seal protocol step 2 (DESIGN.md §10): publishes one final cut draining
+  // every shard's admitted tail — in particular everything the sealed shard
+  // admitted before its sequencer was fenced — and returns the LSN boundary
+  // (exclusive) of the sealed shard's contribution to the global order.
+  // Because the cut drains admitted records only, the global order stays
+  // dense across the reconfiguration: no LSN gaps, no reordering.
+  Lsn SealCut();
+
   // Read-side mirror of the SharedLog API over the global view.
   Result<LogEntry> ReadNext(std::string_view tag, Lsn from_lsn);
   Result<LogEntry> AwaitNext(std::string_view tag, Lsn from_lsn,

@@ -22,6 +22,14 @@ Result<LogShard::AdmitOutcome> LogShard::Admit(
     const FencingTable& meta) {
   TimeNs start = clock_->Now();
   std::lock_guard<std::mutex> lock(mu_);
+  // Sealed check comes before the fault probes: a sealed shard's sequencer
+  // is fenced — it must not consume injected faults or assign offsets, only
+  // bounce the straggler back to the log client for re-placement.
+  if (sealed_) {
+    TRACE_INSTANT("log", "append_sealed");
+    return SealedError("shard " + probe_detail_ +
+                       " sealed; re-place at the current epoch");
+  }
   DurationNs injected_ack_delay = 0;
   // Fault probes before any mutation: a transient append error (lost
   // quorum, leader failover) rejects the whole batch with the requests
@@ -116,6 +124,22 @@ Result<LogEntry> LogShard::EntryAt(uint64_t local) const {
     return OutOfRangeError("local offset beyond shard tail");
   }
   return records_[local - base_local_].entry;
+}
+
+uint64_t LogShard::Seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sealed_ = true;
+  return next_local_;
+}
+
+void LogShard::Unseal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sealed_ = false;
+}
+
+bool LogShard::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
 }
 
 void LogShard::TrimTo(uint64_t new_base_local) {

@@ -120,6 +120,19 @@ class LogShard {
   // Drops all records with local offset < new_base_local.
   void TrimTo(uint64_t new_base_local);
 
+  // Seals the shard's sequencer (failover, DESIGN.md §10): every subsequent
+  // Admit is rejected with kSealed before it can assign a local offset, so a
+  // zombie sequencer cannot extend the log past the final cut. Idempotent;
+  // returns the shard's final local tail (next unassigned offset). Already-
+  // admitted records stay readable and sequencable.
+  uint64_t Seal();
+
+  // Reopens a sealed shard (rejoin at a later placement epoch). Local
+  // offsets continue from the pre-seal tail.
+  void Unseal();
+
+  bool sealed() const;
+
   uint32_t id() const { return id_; }
 
  private:
@@ -135,6 +148,7 @@ class LogShard {
   Clock* clock_;
 
   mutable std::mutex mu_;
+  bool sealed_ = false;
   std::deque<Record> records_;  // records_[i] has local offset base_local_+i
   uint64_t base_local_ = 0;
   uint64_t next_local_ = 0;

@@ -20,6 +20,15 @@
 // classic single totally-ordered log. The public API is shard-agnostic;
 // only placement (`ShardOfTag`) and `Close` expose the sharding.
 //
+// The log survives permanent shard failures (DESIGN.md §10): a failure
+// detector suspects a shard after consecutive kUnavailable admits or a
+// heartbeat gap, and the seal protocol fences its sequencer, finalizes its
+// last metalog cut, writes a durable seal record, and bumps the *placement
+// epoch* so `ShardOfTag` routes only to live shards. Straggler appends to a
+// sealed shard bounce with kSealed and are transparently re-placed here, so
+// callers never observe the reconfiguration. Sealed shards stay readable
+// (reads go through the metalog view) and may rejoin at a later epoch.
+//
 // Thread safety: all public methods are safe to call concurrently.
 #ifndef IMPELLER_SRC_SHAREDLOG_SHARED_LOG_H_
 #define IMPELLER_SRC_SHAREDLOG_SHARED_LOG_H_
@@ -33,14 +42,20 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/histogram.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/sharedlog/latency_model.h"
 #include "src/sharedlog/log_record.h"
+#include "src/sharedlog/sharding/failover.h"
 #include "src/sharedlog/sharding/metalog.h"
 #include "src/sharedlog/sharding/shard.h"
 
 namespace impeller {
+
+// Tag carried by seal/rejoin control records: the log's reconfiguration
+// history is itself a durable substream of the log.
+inline constexpr char kLogSealTag[] = "!log/seal";
 
 struct SharedLogOptions {
   std::string name = "log";
@@ -54,17 +69,23 @@ struct SharedLogOptions {
   // totally-ordered log; more shards admit batches concurrently while the
   // metalog interleaves their cuts into the global order.
   uint32_t shards = 1;
+  // Failure detection / auto-seal knobs (DESIGN.md §10).
+  FailoverOptions failover;
 };
 
 struct SharedLogStats {
   uint64_t appends = 0;
   uint64_t records = 0;
   uint64_t fenced_appends = 0;
+  uint64_t sealed_appends = 0;  // straggler batches bounced off sealed shards
   uint64_t reads = 0;
   uint64_t trims = 0;
   uint64_t bytes_appended = 0;
   uint64_t records_trimmed = 0;
   uint64_t cuts = 0;  // metalog cuts that sequenced >= 1 record
+  uint64_t seals = 0;
+  uint64_t rejoins = 0;
+  uint64_t placement_epoch = 0;  // current epoch, not a counter
 };
 
 class SharedLog {
@@ -126,12 +147,36 @@ class SharedLog {
   uint64_t MetaIncrement(std::string_view key);
   bool MetaCas(std::string_view key, uint64_t expected, uint64_t desired);
 
-  // Placement: the shard a batch whose first tag is `tag` lands on. Used by
-  // the engine for shard-affine task placement.
+  // Placement: the shard a batch whose first tag is `tag` lands on at the
+  // current placement epoch. Used by the engine for shard-affine task
+  // placement. (tag, epoch)-keyed: a seal or rejoin bumps the epoch and may
+  // move the tag to a different live shard.
   uint32_t ShardOfTag(std::string_view tag) const;
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
+
+  // --- Failover: seal protocol & placement epochs (DESIGN.md §10). ---
+
+  // Seals `shard` out of the placement: fences its sequencer (stragglers
+  // observe kSealed), publishes the metalog's final cut for it, writes a
+  // durable seal record tagged kLogSealTag into the global order, and
+  // atomically bumps the placement epoch so new appends route only to live
+  // shards. Idempotent; a concurrent caller blocks until the in-flight seal
+  // finishes, then sees OK. Refuses (kUnavailable) to seal the last live
+  // shard. Sealed shards stay fully readable.
+  Status SealShard(uint32_t shard);
+
+  // Re-admits a sealed shard at a new placement epoch: reopens its
+  // sequencer at the pre-seal local tail, logs a rejoin record, and bumps
+  // the epoch so placement includes it again. kInvalidArgument if the shard
+  // is not sealed.
+  Status RejoinShard(uint32_t shard);
+
+  bool ShardSealed(uint32_t shard) const;
+  // Current placement epoch; bumps by one on every seal and every rejoin.
+  uint64_t placement_epoch() const;
+  uint32_t num_live_shards() const;
 
   SharedLogStats stats() const;
   const std::string& name() const { return options_.name; }
@@ -141,8 +186,15 @@ class SharedLog {
       std::vector<AppendRequest>& reqs);
 
   // The shard a batch is placed on: hash of the first non-empty tag list's
-  // first tag, round-robin for untagged batches.
+  // first tag over the live-shard list, round-robin for untagged batches.
   uint32_t PlaceShard(const std::vector<AppendRequest>& reqs);
+
+  // Appends the seal/rejoin audit record (tag kLogSealTag) to some live
+  // shard, waiting out its ack so the record is durable before the epoch
+  // bump. Best-effort under total outage: failure is logged, never fatal —
+  // the epoch bump is the reconfiguration, the record is its history.
+  void AppendControlRecord(const char* kind, uint32_t shard, Lsn boundary,
+                           uint64_t final_local, uint64_t next_epoch);
 
   // Pre-resolved "log/*" counters mirroring SharedLogStats; all nullptr when
   // no registry was configured.
@@ -150,11 +202,16 @@ class SharedLog {
     Counter* appends = nullptr;
     Counter* records = nullptr;
     Counter* fenced_appends = nullptr;
+    Counter* sealed_appends = nullptr;
     Counter* reads = nullptr;
     Counter* trims = nullptr;
     Counter* bytes_appended = nullptr;
     Counter* records_trimmed = nullptr;
     Counter* cuts = nullptr;
+    Counter* seals = nullptr;
+    Counter* rejoins = nullptr;
+    Counter* epoch_bumps = nullptr;
+    LatencyHistogram* seal_latency = nullptr;  // SealShard wall time
     // Per-shard appended-record counters ("log/shard<i>/records"); only
     // registered when the log actually has multiple shards.
     std::vector<Counter*> shard_records;
@@ -167,7 +224,17 @@ class SharedLog {
   FencingTable meta_;
   std::vector<std::unique_ptr<LogShard>> shards_;
   Metalog metalog_;
+  std::unique_ptr<ShardFailureDetector> detector_;
   std::atomic<uint64_t> rr_next_{0};  // round-robin for untagged batches
+
+  // Serializes reconfigurations (seal/rejoin). Lock order: failover_mu_ ->
+  // placement_mu_ / metalog mutex / shard mutex; never acquired while
+  // holding any of those.
+  std::mutex failover_mu_;
+  // Guards the placement view. Leaf lock.
+  mutable std::mutex placement_mu_;
+  std::vector<uint32_t> live_;  // live shard ids, ascending
+  uint64_t epoch_ = 0;
 
   mutable std::mutex stats_mu_;
   SharedLogStats stats_;

@@ -1,0 +1,480 @@
+// Tests for shard sealing & metalog reconfiguration (DESIGN.md §10): the
+// failure detector, the seal protocol (fence -> final cut -> durable seal
+// record -> epoch bump), straggler re-placement, cross-epoch reads with no
+// LSN gaps, rejoin, and the retry budget cap. Exercises the seal both
+// explicitly (SealShard) and through the auto-seal path driven by injected
+// shard outages.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/retry.h"
+#include "src/common/threading.h"
+#include "src/core/engine.h"
+#include "src/fault/fault.h"
+#include "src/sharedlog/shared_log.h"
+#include "src/sharedlog/sharding/failover.h"
+#include "tests/test_util.h"
+
+namespace impeller {
+namespace {
+
+AppendRequest Req(std::vector<std::string> tags, std::string payload) {
+  AppendRequest req;
+  req.tags = std::move(tags);
+  req.payload = std::move(payload);
+  return req;
+}
+
+SharedLog MakeLog(uint32_t shards, MetricsRegistry* metrics = nullptr) {
+  SharedLogOptions options;
+  options.shards = shards;
+  options.metrics = metrics;
+  // Keep the gap rule out of the way unless a test opts in: these tests
+  // count consecutive failures exactly.
+  options.failover.heartbeat_gap = 600 * kSecond;
+  return SharedLog(std::move(options));
+}
+
+// A tag the log places on shard `shard` at the current epoch.
+std::string TagOnShard(const SharedLog& log, uint32_t shard,
+                       const std::string& prefix = "tag") {
+  for (int c = 0;; ++c) {
+    std::string tag = prefix + "/" + std::to_string(c);
+    if (log.ShardOfTag(tag) == shard) {
+      return tag;
+    }
+  }
+}
+
+TEST(FailoverTest, SealReroutesAppendsAndKeepsOrderDense) {
+  MetricsRegistry metrics;
+  SharedLog log = MakeLog(3, &metrics);
+  std::string victim_tag = TagOnShard(log, 1, "victim");
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(log.Append(Req({victim_tag}, "pre" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(log.SealShard(1).ok());
+
+  EXPECT_TRUE(log.ShardSealed(1));
+  EXPECT_EQ(log.placement_epoch(), 1u);
+  EXPECT_EQ(log.num_live_shards(), 2u);
+  EXPECT_NE(log.ShardOfTag(victim_tag), 1u);
+
+  // Appends keep flowing under the same tag, now on a live shard.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        log.Append(Req({victim_tag}, "post" + std::to_string(i))).ok());
+  }
+
+  // The tag's substream merges across the epoch boundary in order.
+  std::vector<std::string> expected = {"pre0",  "pre1",  "pre2",  "pre3",
+                                       "post0", "post1", "post2", "post3"};
+  Lsn cursor = 0;
+  Lsn prev = kInvalidLsn;
+  for (const auto& want : expected) {
+    auto entry = log.ReadNext(victim_tag, cursor);
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    EXPECT_EQ(entry->payload, want);
+    if (prev != kInvalidLsn) {
+      EXPECT_GT(entry->lsn, prev);
+    }
+    prev = entry->lsn;
+    cursor = entry->lsn + 1;
+  }
+
+  // Dense global order: every LSN up to the tail is durably readable —
+  // 8 data records + 1 seal record, no gaps.
+  EXPECT_EQ(log.TailLsn(), 9u);
+  for (Lsn lsn = 0; lsn < log.TailLsn(); ++lsn) {
+    EXPECT_TRUE(log.ReadAt(lsn).ok()) << "gap at lsn " << lsn;
+  }
+
+  // The seal record is part of the log's durable history.
+  auto seal_record = log.ReadLast(kLogSealTag);
+  ASSERT_TRUE(seal_record.ok());
+  EXPECT_NE(seal_record->payload.find("seal shard=1"), std::string::npos);
+  EXPECT_NE(seal_record->payload.find("epoch=1"), std::string::npos);
+
+  EXPECT_EQ(metrics.GetCounter("log/seals")->Get(), 1u);
+  EXPECT_EQ(metrics.GetCounter("log/epoch_bumps")->Get(), 1u);
+  EXPECT_EQ(metrics.Histogram("log/seal_latency")->Count(), 1u);
+  EXPECT_EQ(log.stats().seals, 1u);
+  EXPECT_EQ(log.stats().placement_epoch, 1u);
+}
+
+TEST(FailoverTest, SealIsIdempotent) {
+  SharedLog log = MakeLog(3);
+  ASSERT_TRUE(log.SealShard(2).ok());
+  ASSERT_TRUE(log.SealShard(2).ok());  // no-op, still OK
+  EXPECT_EQ(log.placement_epoch(), 1u);
+  EXPECT_EQ(log.stats().seals, 1u);
+  EXPECT_TRUE(log.SealShard(7).code() == StatusCode::kInvalidArgument);
+}
+
+TEST(FailoverTest, RefusesToSealLastLiveShard) {
+  SharedLog log = MakeLog(2);
+  ASSERT_TRUE(log.SealShard(0).ok());
+  Status last = log.SealShard(1);
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(log.ShardSealed(1));
+  // The survivor still admits.
+  EXPECT_TRUE(log.Append(Req({"t"}, "x")).ok());
+
+  SharedLog single = MakeLog(1);
+  EXPECT_EQ(single.SealShard(0).code(), StatusCode::kUnavailable);
+}
+
+TEST(FailoverTest, AutoSealAfterConsecutiveUnavailableAppends) {
+  MetricsRegistry metrics;
+  SharedLog log = MakeLog(3, &metrics);
+  std::string victim_tag = TagOnShard(log, 1, "victim");
+
+  // Permanent one-shard outage: shard 1's sequencer errors on every admit
+  // from now on.
+  fault::FaultSchedule kill;
+  kill.point = "log/shard/append";
+  kill.kind = fault::FaultKind::kError;
+  kill.detail_substr = "/s1";
+  kill.every_n = 1;
+  kill.max_fires = 0;
+  testutil::FaultArmGuard guard({kill}, /*seed=*/11, &metrics);
+
+  // suspect_after = 3: two appends fail while the detector accumulates
+  // evidence, the third crosses the threshold, seals, re-places, succeeds.
+  EXPECT_EQ(log.Append(Req({victim_tag}, "a")).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(log.Append(Req({victim_tag}, "b")).status().code(),
+            StatusCode::kUnavailable);
+  auto lsn = log.Append(Req({victim_tag}, "c"));
+  ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+
+  EXPECT_TRUE(log.ShardSealed(1));
+  EXPECT_EQ(log.placement_epoch(), 1u);
+  EXPECT_EQ(metrics.GetCounter("log/seals")->Get(), 1u);
+  // Subsequent appends to the tag route straight to a live shard.
+  EXPECT_TRUE(log.Append(Req({victim_tag}, "d")).ok());
+}
+
+TEST(FailoverTest, AutoSealInsideOneRetriedAppend) {
+  // The common production path: the caller's Retrier absorbs the whole
+  // failover — attempts 1-2 fail, attempt 3 seals and succeeds, all inside
+  // one Run() well under the default budget.
+  MetricsRegistry metrics;
+  SharedLog log = MakeLog(3, &metrics);
+  std::string victim_tag = TagOnShard(log, 2, "victim");
+
+  fault::FaultSchedule kill;
+  kill.point = "log/shard/append";
+  kill.kind = fault::FaultKind::kError;
+  kill.detail_substr = "/s2";
+  kill.every_n = 1;
+  kill.max_fires = 0;
+  testutil::FaultArmGuard guard({kill}, /*seed=*/13, &metrics);
+
+  RetryPolicy policy;
+  policy.initial_backoff = 10 * kMicrosecond;
+  Retrier retrier(policy, /*seed=*/3, nullptr, &metrics);
+  auto lsn = retrier.Run("failover_append", [&] {
+    return log.Append(Req({victim_tag}, "v"));
+  });
+  ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+  EXPECT_TRUE(log.ShardSealed(2));
+  EXPECT_EQ(metrics.GetCounter("retry/retries")->Get(), 2u);
+  EXPECT_EQ(metrics.GetCounter("retry/exhausted")->Get(), 0u);
+}
+
+TEST(FailoverTest, StragglerBouncesWithSealedAndIsReplaced) {
+  MetricsRegistry metrics;
+  SharedLog log = MakeLog(3, &metrics);
+  std::string victim_tag = TagOnShard(log, 1, "victim");
+
+  // Stall the seal between the sequencer fence and the epoch bump, so a hot
+  // writer is guaranteed to hit the kSealed window and exercise transparent
+  // re-placement.
+  fault::FaultSchedule stall;
+  stall.point = "log/seal";
+  stall.kind = fault::FaultKind::kDelay;
+  stall.delay = 100 * kMillisecond;
+  stall.every_n = 1;
+  testutil::FaultArmGuard guard({stall}, /*seed=*/17, &metrics);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> appended{0};
+  JoiningThread writer([&] {
+    while (!stop.load()) {
+      auto lsn = log.Append(Req({victim_tag}, "w"));
+      ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+      appended.fetch_add(1);
+    }
+  });
+  // Let the writer get going, then seal its shard under it.
+  ASSERT_TRUE(testutil::WaitFor([&] { return appended.load() > 0; }));
+  ASSERT_TRUE(log.SealShard(1).ok());
+  stop.store(true);
+  writer.Join();
+
+  SharedLogStats stats = log.stats();
+  EXPECT_GE(stats.sealed_appends, 1u) << "no straggler hit the seal window";
+  EXPECT_EQ(metrics.GetCounter("log/sealed_appends")->Get(),
+            stats.sealed_appends);
+  // Every writer append succeeded despite the reconfiguration: the data
+  // substream is complete and ordered.
+  uint64_t total = appended.load();
+  Lsn cursor = 0;
+  for (uint64_t i = 0; i < total; ++i) {
+    auto entry = log.ReadNext(victim_tag, cursor);
+    ASSERT_TRUE(entry.ok()) << "record " << i << " missing: "
+                            << entry.status().ToString();
+    cursor = entry->lsn + 1;
+  }
+}
+
+TEST(FailoverTest, FencedAppendCounterExported) {
+  MetricsRegistry metrics;
+  SharedLog log = MakeLog(3, &metrics);
+  log.MetaPut("inst", 2);
+  AppendRequest req = Req({"t"}, "zombie");
+  req.cond_key = "inst";
+  req.cond_value = 1;  // stale
+  EXPECT_EQ(log.Append(std::move(req)).status().code(), StatusCode::kFenced);
+  EXPECT_EQ(metrics.GetCounter("log/fenced_appends")->Get(), 1u);
+  EXPECT_EQ(log.stats().fenced_appends, 1u);
+}
+
+TEST(FailoverTest, RejoinAtLaterEpoch) {
+  MetricsRegistry metrics;
+  SharedLog log = MakeLog(3, &metrics);
+  std::string victim_tag = TagOnShard(log, 0, "victim");
+  ASSERT_TRUE(log.Append(Req({victim_tag}, "pre")).ok());
+
+  ASSERT_TRUE(log.SealShard(0).ok());
+  EXPECT_EQ(log.RejoinShard(2).code(), StatusCode::kInvalidArgument)
+      << "rejoin of a live shard must be rejected";
+  ASSERT_TRUE(log.RejoinShard(0).ok());
+
+  EXPECT_FALSE(log.ShardSealed(0));
+  EXPECT_EQ(log.placement_epoch(), 2u);
+  EXPECT_EQ(log.num_live_shards(), 3u);
+  EXPECT_EQ(log.stats().rejoins, 1u);
+  EXPECT_EQ(metrics.GetCounter("log/epoch_bumps")->Get(), 2u);
+
+  // The rejoined shard admits again: place a batch directly on it.
+  std::string back_tag = TagOnShard(log, 0, "back");
+  ASSERT_TRUE(log.Append(Req({back_tag}, "post")).ok());
+  auto rejoin_record = log.ReadLast(kLogSealTag);
+  ASSERT_TRUE(rejoin_record.ok());
+  EXPECT_NE(rejoin_record->payload.find("rejoin shard=0"), std::string::npos);
+
+  // Dense order across seal + rejoin.
+  for (Lsn lsn = 0; lsn < log.TailLsn(); ++lsn) {
+    EXPECT_TRUE(log.ReadAt(lsn).ok()) << "gap at lsn " << lsn;
+  }
+}
+
+TEST(FailoverTest, ReaderBlockedInAwaitNextSurvivesEpochBump) {
+  SharedLog log = MakeLog(3);
+  std::string victim_tag = TagOnShard(log, 1, "victim");
+
+  std::atomic<bool> reader_started{false};
+  Result<LogEntry> got = NotFoundError("not yet");
+  JoiningThread reader([&] {
+    reader_started.store(true);
+    got = log.AwaitNext(victim_tag, 0, 5 * kSecond);
+  });
+  ASSERT_TRUE(testutil::WaitFor([&] { return reader_started.load(); }));
+  MonotonicClock::Get()->SleepFor(5 * kMillisecond);  // reader parks in wait
+
+  // Seal the tag's shard, then publish under the new epoch: the blocked
+  // reader must observe the re-placed record, not its timeout.
+  ASSERT_TRUE(log.SealShard(1).ok());
+  ASSERT_TRUE(log.Append(Req({victim_tag}, "after-bump")).ok());
+  reader.Join();
+
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->payload, "after-bump");
+}
+
+TEST(FailoverTest, CrossEpochReadsNoGapsNoReorder) {
+  SharedLog log = MakeLog(4);
+  // Several tags across several shards, interleaved writes, one seal in the
+  // middle: per-tag order must be exact and the global order dense.
+  std::vector<std::string> tags;
+  for (uint32_t s = 0; s < 4; ++s) {
+    tags.push_back(TagOnShard(log, s, "t" + std::to_string(s)));
+  }
+  int seq = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (const auto& tag : tags) {
+      ASSERT_TRUE(log.Append(Req({tag}, std::to_string(seq++))).ok());
+    }
+  }
+  ASSERT_TRUE(log.SealShard(2).ok());
+  for (int round = 0; round < 5; ++round) {
+    for (const auto& tag : tags) {
+      ASSERT_TRUE(log.Append(Req({tag}, std::to_string(seq++))).ok());
+    }
+  }
+
+  // Per-tag: strictly increasing LSNs, payload sequence preserved.
+  for (const auto& tag : tags) {
+    Lsn cursor = 0;
+    Lsn prev_lsn = kInvalidLsn;
+    long long prev_payload = -1;
+    int count = 0;
+    while (true) {
+      auto entry = log.ReadNext(tag, cursor);
+      if (!entry.ok()) {
+        ASSERT_EQ(entry.status().code(), StatusCode::kNotFound);
+        break;
+      }
+      long long payload = std::stoll(entry->payload);
+      EXPECT_GT(payload, prev_payload) << "reorder within " << tag;
+      if (prev_lsn != kInvalidLsn) {
+        EXPECT_GT(entry->lsn, prev_lsn);
+      }
+      prev_payload = payload;
+      prev_lsn = entry->lsn;
+      cursor = entry->lsn + 1;
+      ++count;
+    }
+    EXPECT_EQ(count, 10) << tag;
+  }
+  // Global: 40 data records + 1 seal record, every LSN present exactly once.
+  EXPECT_EQ(log.TailLsn(), 41u);
+  std::set<Lsn> seen;
+  for (Lsn lsn = 0; lsn < log.TailLsn(); ++lsn) {
+    auto entry = log.ReadAt(lsn);
+    ASSERT_TRUE(entry.ok()) << "gap at lsn " << lsn;
+    EXPECT_EQ(entry->lsn, lsn);
+    EXPECT_TRUE(seen.insert(entry->lsn).second);
+  }
+}
+
+TEST(FailoverTest, DetectorConsecutiveThreshold) {
+  FailoverOptions opts;
+  opts.suspect_after = 3;
+  opts.heartbeat_gap = 0;  // disable the gap rule
+  ShardFailureDetector detector(opts, 2, /*now=*/0);
+  EXPECT_FALSE(detector.RecordFailure(0, 1));
+  EXPECT_FALSE(detector.RecordFailure(0, 2));
+  EXPECT_TRUE(detector.RecordFailure(0, 3));
+  // Success resets the streak; the other shard's state is independent.
+  detector.RecordSuccess(0, 4);
+  EXPECT_EQ(detector.consecutive_failures(0), 0);
+  EXPECT_FALSE(detector.RecordFailure(0, 5));
+  EXPECT_FALSE(detector.RecordFailure(1, 5));
+}
+
+TEST(FailoverTest, DetectorHeartbeatGap) {
+  FailoverOptions opts;
+  opts.suspect_after = 100;  // keep the consecutive rule out of the way
+  opts.heartbeat_gap = 10 * kMillisecond;
+  ShardFailureDetector detector(opts, 1, /*now=*/0);
+  // A failure shortly after a healthy admit: not suspect.
+  detector.RecordSuccess(0, 1 * kMillisecond);
+  EXPECT_FALSE(detector.RecordFailure(0, 5 * kMillisecond));
+  // A failure after a long silence: the shard missed its heartbeat.
+  EXPECT_TRUE(detector.RecordFailure(0, 20 * kMillisecond));
+  // Reset restarts the heartbeat clock.
+  detector.Reset(0, 21 * kMillisecond);
+  EXPECT_FALSE(detector.RecordFailure(0, 22 * kMillisecond));
+}
+
+TEST(FailoverTest, HeartbeatGapAutoSealsOnLog) {
+  MetricsRegistry metrics;
+  SharedLogOptions options;
+  options.shards = 3;
+  options.metrics = &metrics;
+  options.failover.suspect_after = 100;  // only the gap rule can fire
+  options.failover.heartbeat_gap = kMillisecond;
+  SharedLog log(std::move(options));
+  std::string victim_tag = TagOnShard(log, 1, "victim");
+
+  fault::FaultSchedule kill;
+  kill.point = "log/shard/append";
+  kill.kind = fault::FaultKind::kError;
+  kill.detail_substr = "/s1";
+  kill.every_n = 1;
+  kill.max_fires = 0;
+  testutil::FaultArmGuard guard({kill}, /*seed=*/19, &metrics);
+
+  MonotonicClock::Get()->SleepFor(3 * kMillisecond);  // blow the gap
+  // One failed admit on a gap-expired shard seals it immediately.
+  auto lsn = log.Append(Req({victim_tag}, "x"));
+  ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+  EXPECT_TRUE(log.ShardSealed(1));
+  EXPECT_EQ(metrics.GetCounter("log/seals")->Get(), 1u);
+}
+
+TEST(FailoverTest, RetryBudgetCapsTotalElapsed) {
+  MetricsRegistry metrics;
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff = 5 * kMillisecond;
+  policy.multiplier = 1.0;
+  policy.jitter = 0.0;
+  policy.max_elapsed = 20 * kMillisecond;
+  Retrier retrier(policy, /*seed=*/1, nullptr, &metrics);
+
+  int attempts = 0;
+  Status st = retrier.Run("budget", [&] {
+    ++attempts;
+    return UnavailableError("permanently down");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // ~4 backoffs of 5ms fit in a 20ms budget; max_attempts never binds.
+  EXPECT_GE(attempts, 2);
+  EXPECT_LE(attempts, 6);
+  EXPECT_EQ(metrics.GetCounter("retry/exhausted")->Get(), 1u);
+
+  // max_elapsed = 0 keeps the attempt-count behavior.
+  RetryPolicy unbounded;
+  unbounded.max_attempts = 3;
+  unbounded.initial_backoff = 10 * kMicrosecond;
+  unbounded.max_elapsed = 0;
+  Retrier loose(unbounded, /*seed=*/2);
+  attempts = 0;
+  st = loose.Run("unbounded", [&] {
+    ++attempts;
+    return UnavailableError("down");
+  });
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(FailoverTest, SealedIsNotRetryable) {
+  EXPECT_FALSE(IsRetryable(SealedError("sealed")));
+  EXPECT_FALSE(IsRetryable(FencedError("fenced")));
+  EXPECT_TRUE(IsRetryable(UnavailableError("down")));
+
+  // A Retrier that sees kSealed must stop immediately (the log client has
+  // already re-placed internally; surfacing kSealed means reconfiguration
+  // could not help, e.g. an explicit append pinned to a sealed shard).
+  Retrier retrier(RetryPolicy{}, /*seed=*/1);
+  int attempts = 0;
+  Status st = retrier.Run("sealed", [&] {
+    ++attempts;
+    return SealedError("shard gone");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kSealed);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(FailoverTest, ZeroShardEngineConfigRejected) {
+  EngineOptions options;
+  options.config = testutil::FastConfig(ProtocolKind::kProgressMarking);
+  options.config.log_shards = 0;
+  Engine engine(std::move(options));
+  auto plan = testutil::WordCountPlan();
+  ASSERT_TRUE(plan.ok());
+  Status st = engine.Submit(std::move(*plan));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("log_shards"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impeller

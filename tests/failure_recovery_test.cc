@@ -4,6 +4,9 @@
 // exactly-once invariant: final per-word counts equal true occurrences.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "src/common/threading.h"
 #include "tests/test_util.h"
 
 namespace impeller {
@@ -231,6 +234,38 @@ TEST_F(FailureRecoveryTest, AutoRestartReplacesCrashedTask) {
   SendLines(20, "auto");
   WaitDrained();
   VerifyExactCounts({{"auto", 40}, {"heal", 20}});
+}
+
+TEST_F(FailureRecoveryTest, StopRacingRestartNeverHangs) {
+  // Engine::Stop joins the scheduler workers; a RestartTask racing it used
+  // to submit a task nothing would ever run and then spin waiting for it to
+  // start. The restart must either complete or fail with kUnavailable —
+  // never hang, never crash.
+  for (int round = 0; round < 5; ++round) {
+    StartEngine(FastConfig(ProtocolKind::kProgressMarking));
+    SendLines(10, "race word");
+    WaitDrained();
+    std::atomic<bool> done{false};
+    JoiningThread restarter([&] {
+      while (!done.load()) {
+        auto stats = engine_->tasks()->RestartTask("wc/count/0");
+        if (!stats.ok()) {
+          EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable)
+              << stats.status().ToString();
+          return;  // shutdown fence observed
+        }
+      }
+    });
+    MonotonicClock::Get()->SleepFor((round + 1) * kMillisecond);
+    engine_->Stop();
+    done.store(true);
+    restarter.Join();
+    // Post-stop restarts fail cleanly too.
+    auto late = engine_->tasks()->RestartTask("wc/count/0");
+    EXPECT_FALSE(late.ok());
+    EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+    expected_words_ = 0;
+  }
 }
 
 }  // namespace
