@@ -462,18 +462,21 @@ inline NexmarkQueryOptions ScaledQueryOptions(const RunConfig& config) {
   return q;
 }
 
-// Runs one (system, query, rate) point and reports sink latency.
-inline RunResult RunPoint(const RunConfig& config,
-                          uint64_t seed = BenchSeed()) {
+// Runs one point on an already-built QueryPlan. `series` replaces the
+// system name in the emitted BenchPoint ("<series>/q<N>/<rate>") so
+// alternative lowerings of the same query (e.g. the declarative-plan
+// ablation's fused vs unfused builds) land as distinct rows in the same
+// JSON file. The sink metrics ("lat/q<N>", "out/q<N>") are named by the
+// query's sink, not its stage layout, so any lowering reports here.
+// `extra_json`, when nonempty, is appended to the point's extra fields
+// (`"k": v` pairs, no trailing comma).
+inline RunResult RunPreparedPoint(const RunConfig& config, QueryPlan plan,
+                                  const std::string& series,
+                                  uint64_t seed = BenchSeed(),
+                                  const std::string& extra_json = "") {
   BenchObs::Instance().OnRunStart();
   Engine engine(MakeEngineOptions(config, seed));
-  auto plan = BuildNexmarkQuery(config.query, ScaledQueryOptions(config));
-  if (!plan.ok()) {
-    std::fprintf(stderr, "plan build failed: %s\n",
-                 plan.status().ToString().c_str());
-    return {};
-  }
-  if (Status st = engine.Submit(std::move(*plan)); !st.ok()) {
+  if (Status st = engine.Submit(std::move(plan)); !st.ok()) {
     std::fprintf(stderr, "submit failed: %s\n", st.ToString().c_str());
     return {};
   }
@@ -514,9 +517,8 @@ inline RunResult RunPoint(const RunConfig& config,
   BenchPoint point;
   {
     char name[128];
-    std::snprintf(name, sizeof(name), "%s/q%d/%.0f",
-                  SystemName(config.system), config.query,
-                  config.events_per_sec);
+    std::snprintf(name, sizeof(name), "%s/q%d/%.0f", series.c_str(),
+                  config.query, config.events_per_sec);
     point.name = name;
   }
   double throughput =
@@ -539,9 +541,26 @@ inline RunResult RunPoint(const RunConfig& config,
                   static_cast<unsigned long long>(result.outputs),
                   result.saturated ? "true" : "false");
     point.extra = extra;
+    if (!extra_json.empty()) {
+      point.extra += ", " + extra_json;
+    }
   }
   BenchJson::Instance().Add(point);
   return result;
+}
+
+// Runs one (system, query, rate) point on the imperative query build and
+// reports sink latency.
+inline RunResult RunPoint(const RunConfig& config,
+                          uint64_t seed = BenchSeed()) {
+  auto plan = BuildNexmarkQuery(config.query, ScaledQueryOptions(config));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan build failed: %s\n",
+                 plan.status().ToString().c_str());
+    return {};
+  }
+  return RunPreparedPoint(config, std::move(*plan),
+                          SystemName(config.system), seed);
 }
 
 inline std::string Ms(int64_t ns) {

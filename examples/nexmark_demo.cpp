@@ -2,22 +2,66 @@
 // Table 3) against the generated person/auction/bid stream and reports
 // end-to-end event-time latency, optionally comparing protocols.
 //
-// Usage: nexmark_demo [query 1-8] [events/s] [seconds] [protocol]
+// Queries are built through the declarative plan layer (src/plan/) by
+// default: logical plan -> fusion/pushdown optimizer -> lowering. The
+// lowered QueryPlan is structurally identical to the imperative builders
+// in src/nexmark/queries.cc (that equivalence is test-enforced).
+//
+// Usage: nexmark_demo [flags] [query 1-8] [events/s] [seconds] [protocol]
 //   protocol: impeller (default) | kafka-txn | aligned-ckpt | unsafe
+//   --explain   print the optimized plan (text tree) before running
+//   --dot       print the plan as Graphviz DOT instead of running
+//   --no-fuse   disable chain fusion: every operator its own stage, every
+//               boundary a log hop (the ablation baseline)
+//   --no-plan   bypass the plan layer; use the imperative builders
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "src/nexmark/driver.h"
+#include "src/nexmark/plan_queries.h"
 #include "src/nexmark/queries.h"
+#include "src/plan/explain.h"
 
 using namespace impeller;
 
 int main(int argc, char** argv) {
-  int query = argc > 1 ? std::atoi(argv[1]) : 5;
-  double rate = argc > 2 ? std::atof(argv[2]) : 5000;
-  double seconds = argc > 3 ? std::atof(argv[3]) : 5;
-  const char* protocol = argc > 4 ? argv[4] : "impeller";
+  bool use_plan = true;
+  bool fuse = true;
+  bool explain = false;
+  bool dot = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-plan") == 0) {
+      use_plan = false;
+    } else if (std::strcmp(argv[i], "--no-fuse") == 0) {
+      fuse = false;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      dot = true;
+    } else if (argv[i][0] == '-' && !std::isdigit(argv[i][1])) {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: nexmark_demo [--explain] [--dot] "
+                   "[--no-fuse] [--no-plan] [query 1-8] [events/s] [seconds] "
+                   "[protocol]\n",
+                   argv[i]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  int query = positional.size() > 0 ? std::atoi(positional[0]) : 5;
+  double rate = positional.size() > 1 ? std::atof(positional[1]) : 5000;
+  double seconds = positional.size() > 2 ? std::atof(positional[2]) : 5;
+  const char* protocol = positional.size() > 3 ? positional[3] : "impeller";
+  if ((!use_plan && !fuse) || ((explain || dot) && !use_plan)) {
+    std::fprintf(stderr,
+                 "--no-fuse/--explain/--dot need the plan layer; drop "
+                 "--no-plan\n");
+    return 2;
+  }
 
   EngineOptions options;
   if (std::strcmp(protocol, "kafka-txn") == 0) {
@@ -34,19 +78,41 @@ int main(int argc, char** argv) {
 
   NexmarkQueryOptions query_options;
   query_options.tasks_per_stage = 2;
-  auto plan = BuildNexmarkQuery(query, query_options);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "Q%d: %s\n", query, plan.status().ToString().c_str());
-    return 1;
+
+  QueryPlan plan;
+  if (use_plan) {
+    auto built = nexmark::BuildNexmarkPlanQuery(query, query_options, fuse);
+    if (!built.ok()) {
+      std::fprintf(stderr, "Q%d: %s\n", query,
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    if (dot) {
+      std::printf("%s", plan::ExplainDot(built->lowered).c_str());
+      return 0;
+    }
+    if (explain) {
+      std::printf("%s\n", plan::ExplainText(built->lowered).c_str());
+    }
+    plan = std::move(built->lowered.query);
+  } else {
+    auto built = BuildNexmarkQuery(query, query_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "Q%d: %s\n", query,
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    plan = std::move(*built);
   }
-  std::printf("NEXMark Q%d | %s | %.0f events/s | %.0fs | stages:", query,
+  std::printf("NEXMark Q%d | %s | %s | %.0f events/s | %.0fs | stages:",
+              query, use_plan ? (fuse ? "plan" : "plan,unfused") : "imperative",
               protocol, rate, seconds);
-  for (const auto& stage : plan->stages) {
+  for (const auto& stage : plan.stages) {
     std::printf(" %s(x%u%s)", stage.name.c_str(), stage.num_tasks,
                 stage.stateful ? ",stateful" : "");
   }
   std::printf("\n");
-  if (Status st = engine.Submit(std::move(*plan)); !st.ok()) {
+  if (Status st = engine.Submit(std::move(plan)); !st.ok()) {
     std::fprintf(stderr, "submit: %s\n", st.ToString().c_str());
     return 1;
   }

@@ -1,19 +1,111 @@
 // Quickstart: the paper's running example (Fig. 1/3) — distributed word
-// count with exactly-once semantics on a shared log.
+// count with exactly-once semantics on a shared log, authored on the
+// declarative plan layer (src/plan/). The plan builder names UDFs with
+// registry handles, the optimizer fuses operator chains so only the
+// repartition before the counting aggregate pays a log hop, and lowering
+// emits the same QueryPlan the imperative QueryBuilder would.
 //
 //   lines ──> [split: flat-map to words] ──repartition──> [count] ──> sink
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart              # plan-built pipeline
+//   ./build/examples/quickstart --explain    # print the optimized plan
+//   ./build/examples/quickstart --no-plan    # original imperative build
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <sstream>
 
 #include "src/core/engine.h"
+#include "src/plan/explain.h"
+#include "src/plan/ir.h"
+#include "src/plan/lowering.h"
+#include "src/plan/optimizer.h"
+#include "src/plan/registry.h"
 
 using namespace impeller;
 
-int main() {
+namespace {
+
+// The two UDFs, shared by the plan and imperative paths.
+void SplitWords(StreamRecord line, std::vector<StreamRecord>* out) {
+  std::istringstream stream(line.value);
+  std::string word;
+  while (stream >> word) {
+    // The emitted key drives the repartition: all instances of a word
+    // reach the same counting task.
+    out->push_back({word, "1", line.event_time});
+  }
+}
+
+AggregateFn CountAgg() {
+  AggregateFn count;
+  count.init = [] { return std::string("0"); };
+  count.add = [](std::string_view acc, const StreamRecord&) {
+    return std::to_string(std::stoll(std::string(acc)) + 1);
+  };
+  return count;
+}
+
+// Declarative build: logical plan -> optimizer (fusion) -> lowering.
+// The flat_map and key_by fuse into one "split" stage; the stateful
+// aggregate starts the "count" stage after the repartition.
+Result<plan::LoweredPlan> BuildPlanned() {
+  plan::UdfRegistry registry;
+  registry.RegisterFlatMap("split_words", SplitWords);
+  registry.RegisterKey("word", [](const StreamRecord& r) { return r.key; });
+  registry.RegisterAggregate("count", CountAgg());
+
+  plan::PlanBuilder pb("wordcount", /*default_tasks=*/2);
+  auto lines = pb.Source("lines");
+  auto words = pb.FlatMap(lines, "split_words").Stage("split");
+  auto keyed = pb.KeyBy(words, "word").Via("words");
+  auto counts = pb.Aggregate(keyed, "counts", "count").Stage("count");
+  pb.Sink(counts, "wordcount");
+
+  auto logical = pb.Build();
+  if (!logical.ok()) {
+    return logical.status();
+  }
+  auto optimized = plan::Optimizer::Default().Run(*logical, registry);
+  if (!optimized.ok()) {
+    return optimized.status();
+  }
+  return plan::LowerPlan(*optimized, registry);
+}
+
+// The original hand-built pipeline (kept behind --no-plan).
+Result<QueryPlan> BuildImperative() {
+  QueryBuilder qb("wordcount");
+  qb.Ingress("lines");
+  qb.AddStage("split", /*num_tasks=*/2)
+      .ReadsFrom({"lines"})
+      .FlatMap(SplitWords)
+      .WritesTo("words");
+  qb.AddStage("count", /*num_tasks=*/2)
+      .ReadsFrom({"words"})
+      .Aggregate("counts", CountAgg())
+      .Sink("wordcount");
+  return qb.Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool use_plan = true;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-plan") == 0) {
+      use_plan = false;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else {
+      std::fprintf(stderr, "usage: quickstart [--explain] [--no-plan]\n");
+      return 2;
+    }
+  }
+
   // 1. An engine owns the shared log, the checkpoint store, and the task
   //    manager for one stream query. Default: Impeller's progress-marking
   //    protocol, 100 ms commit interval.
@@ -21,38 +113,29 @@ int main() {
   options.config.commit_interval = 50 * kMillisecond;
   Engine engine(std::move(options));
 
-  // 2. Describe the query as a DAG of stages.
-  AggregateFn count;
-  count.init = [] { return std::string("0"); };
-  count.add = [](std::string_view acc, const StreamRecord&) {
-    return std::to_string(std::stoll(std::string(acc)) + 1);
-  };
-
-  QueryBuilder qb("wordcount");
-  qb.Ingress("lines");
-  qb.AddStage("split", /*num_tasks=*/2)
-      .ReadsFrom({"lines"})
-      .FlatMap([](StreamRecord line, std::vector<StreamRecord>* out) {
-        std::istringstream stream(line.value);
-        std::string word;
-        while (stream >> word) {
-          // The emitted key drives the repartition: all instances of a word
-          // reach the same counting task.
-          out->push_back({word, "1", line.event_time});
-        }
-      })
-      .WritesTo("words");
-  qb.AddStage("count", /*num_tasks=*/2)
-      .ReadsFrom({"words"})
-      .Aggregate("counts", count)
-      .Sink("wordcount");
-
-  auto plan = qb.Build();
-  if (!plan.ok()) {
-    std::fprintf(stderr, "plan error: %s\n", plan.status().ToString().c_str());
-    return 1;
+  // 2. Describe the query — declaratively by default.
+  QueryPlan query;
+  if (use_plan) {
+    auto lowered = BuildPlanned();
+    if (!lowered.ok()) {
+      std::fprintf(stderr, "plan error: %s\n",
+                   lowered.status().ToString().c_str());
+      return 1;
+    }
+    if (explain) {
+      std::printf("%s\n", plan::ExplainText(*lowered).c_str());
+    }
+    query = std::move(lowered->query);
+  } else {
+    auto built = BuildImperative();
+    if (!built.ok()) {
+      std::fprintf(stderr, "plan error: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    query = std::move(*built);
   }
-  if (Status st = engine.Submit(std::move(*plan)); !st.ok()) {
+  if (Status st = engine.Submit(std::move(query)); !st.ok()) {
     std::fprintf(stderr, "submit error: %s\n", st.ToString().c_str());
     return 1;
   }
@@ -79,7 +162,8 @@ int main() {
   }
   engine.Stop();
 
-  // 5. Read the committed results from the egress stream.
+  // 5. Read the committed results from the egress stream. Both builds
+  //    sink from the "count" stage, so the consumer code is identical.
   std::map<std::string, long> counts;
   for (uint32_t sub = 0; sub < 2; ++sub) {
     auto consumer = engine.NewEgressConsumer("count", sub);

@@ -146,12 +146,19 @@ class Result {
   } while (0)
 
 // Assign the value of a Result<T> expression or propagate its status.
+// Double expansion so __LINE__ resolves before pasting, making the
+// temporary unique per use site (several uses may share a scope).
+#define IMPELLER_STATUS_CONCAT_INNER(a, b) a##b
+#define IMPELLER_STATUS_CONCAT(a, b) IMPELLER_STATUS_CONCAT_INNER(a, b)
 #define IMPELLER_ASSIGN_OR_RETURN(lhs, expr) \
-  auto _res_##__LINE__ = (expr);             \
-  if (!_res_##__LINE__.ok()) {               \
-    return _res_##__LINE__.status();         \
-  }                                          \
-  lhs = std::move(_res_##__LINE__).value()
+  IMPELLER_ASSIGN_OR_RETURN_IMPL(            \
+      IMPELLER_STATUS_CONCAT(_res_, __LINE__), lhs, expr)
+#define IMPELLER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
 
 }  // namespace impeller
 

@@ -274,13 +274,19 @@ Result<QueryPlan> QueryBuilder::Build() {
     for (const auto& input : spec.inputs) {
       auto it = plan.streams.find(input);
       if (it == plan.streams.end()) {
-        return InvalidArgumentError("stage " + spec.name +
-                                    " reads unknown stream " + input);
+        return InvalidArgumentError(
+            "stage '" + spec.name + "' reads stream '" + input +
+            "' which has no producer; declare it with Ingress(\"" + input +
+            "\") or produce it with WritesTo(\"" + input +
+            "\") on another stage");
       }
       StreamSpec& stream = it->second;
       if (!stream.consumer_stage.empty()) {
-        return InvalidArgumentError("stream " + input +
-                                    " has multiple consumers");
+        return InvalidArgumentError(
+            "stream '" + input + "' has multiple consumers: '" +
+            stream.consumer_stage + "' and '" + spec.name +
+            "'; streams are single-consumer — produce a separate stream per "
+            "consumer (e.g. via a Branch stage)");
       }
       if (stream.egress) {
         return InvalidArgumentError("egress stream " + input +
@@ -296,6 +302,60 @@ Result<QueryPlan> QueryBuilder::Build() {
   for (auto& [name, stream] : plan.streams) {
     if (!stream.egress && stream.consumer_stage.empty()) {
       return InvalidArgumentError("stream " + name + " is never consumed");
+    }
+  }
+
+  // The stage graph must be acyclic. Streams are registered before
+  // consumers resolve, so the checks above accept mutually-referencing
+  // stages (A reads B's output while B reads A's); a query like that would
+  // deadlock at runtime with every stage waiting on the other's append.
+  // Kahn's algorithm over stage dependency edges (producer -> consumer).
+  {
+    std::map<std::string, std::set<std::string>> consumers_of;
+    std::map<std::string, size_t> indegree;
+    for (const auto& sb : stages_) {
+      indegree[sb->spec_.name];  // ensure every stage is present
+    }
+    for (const auto& [stream_name, stream] : plan.streams) {
+      if (stream.producer_stage.empty() || stream.consumer_stage.empty()) {
+        continue;  // ingress or egress edge
+      }
+      if (consumers_of[stream.producer_stage]
+              .insert(stream.consumer_stage)
+              .second) {
+        ++indegree[stream.consumer_stage];
+      }
+    }
+    std::vector<std::string> frontier;
+    for (const auto& [stage, degree] : indegree) {
+      if (degree == 0) {
+        frontier.push_back(stage);
+      }
+    }
+    size_t visited = 0;
+    while (!frontier.empty()) {
+      std::string stage = frontier.back();
+      frontier.pop_back();
+      ++visited;
+      for (const auto& consumer : consumers_of[stage]) {
+        if (--indegree[consumer] == 0) {
+          frontier.push_back(consumer);
+        }
+      }
+    }
+    if (visited != indegree.size()) {
+      std::string on_cycle;
+      for (const auto& [stage, degree] : indegree) {
+        if (degree > 0) {
+          if (!on_cycle.empty()) {
+            on_cycle += ", ";
+          }
+          on_cycle += "'" + stage + "'";
+        }
+      }
+      return InvalidArgumentError(
+          "query '" + name_ + "' has a cycle through stages " + on_cycle +
+          "; stage dataflow must be acyclic");
     }
   }
 

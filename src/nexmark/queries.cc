@@ -1,96 +1,29 @@
 #include "src/nexmark/queries.h"
 
-#include <cmath>
-
-#include "src/common/serde.h"
-#include "src/nexmark/events.h"
+#include "src/nexmark/udfs.h"
 
 namespace impeller {
 
+// Every operator body lives in src/nexmark/udfs.cc under a stable name, so
+// the declarative plan path (src/nexmark/plan_queries.cc) lowers to
+// byte-identical logic: both paths call the same functions.
+using namespace nexmark;  // NOLINT(build/namespaces)
+
 namespace {
-
-// --- small codecs shared by the aggregates ---
-
-std::string EncodeU64(uint64_t v) {
-  BinaryWriter w(10);
-  w.WriteVarU64(v);
-  return w.Take();
-}
-
-uint64_t DecodeU64(std::string_view raw, uint64_t fallback = 0) {
-  BinaryReader r(raw);
-  auto v = r.ReadVarU64();
-  return v.ok() ? *v : fallback;
-}
-
-// (a, b) pair of varints.
-std::string EncodeU64Pair(uint64_t a, uint64_t b) {
-  BinaryWriter w(20);
-  w.WriteVarU64(a);
-  w.WriteVarU64(b);
-  return w.Take();
-}
-
-bool DecodeU64Pair(std::string_view raw, uint64_t* a, uint64_t* b) {
-  BinaryReader r(raw);
-  auto first = r.ReadVarU64();
-  auto second = r.ReadVarU64();
-  if (!first.ok() || !second.ok()) {
-    return false;
-  }
-  *a = *first;
-  *b = *second;
-  return true;
-}
-
-// WindowAggregateOperator emits value = varint(window start) + string(acc).
-bool DecodeWindowResult(std::string_view raw, TimeNs* start,
-                        std::string* acc) {
-  BinaryReader r(raw);
-  auto s = r.ReadVarI64();
-  auto a = r.ReadString();
-  if (!s.ok() || !a.ok()) {
-    return false;
-  }
-  *start = *s;
-  *acc = std::move(*a);
-  return true;
-}
-
-AggregateFn CountAgg() {
-  AggregateFn agg;
-  agg.init = [] { return EncodeU64(0); };
-  agg.add = [](std::string_view acc, const StreamRecord&) {
-    return EncodeU64(DecodeU64(acc) + 1);
-  };
-  agg.remove = [](std::string_view acc, std::string_view) {
-    uint64_t c = DecodeU64(acc);
-    return EncodeU64(c > 0 ? c - 1 : 0);
-  };
-  return agg;
-}
-
-// --- Q1: currency conversion (USD -> EUR), map + filter ---
 
 QueryBuilder MakeBuilder(int number) {
   return QueryBuilder("q" + std::to_string(number));
 }
+
+// --- Q1: currency conversion (USD -> EUR), map + filter ---
 
 Result<QueryPlan> BuildQ1(const NexmarkQueryOptions& opt) {
   QueryBuilder qb = MakeBuilder(1);
   qb.Ingress("bids");
   qb.AddStage("convert", opt.tasks_per_stage)
       .ReadsFrom({"bids"})
-      .Filter([](const StreamRecord& r) { return !r.value.empty(); })
-      .Map([](StreamRecord r) {
-        auto bid = DecodeBid(r.value);
-        if (bid.ok()) {
-          bid->price = static_cast<int64_t>(
-              std::llround(static_cast<double>(bid->price) * 0.908));
-          r.value = EncodeBid(*bid);
-        }
-        return r;
-      })
+      .Filter(NonEmptyValue)
+      .Map(ConvertUsdToEur)
       .Sink("q1");
   return qb.Build();
 }
@@ -102,10 +35,7 @@ Result<QueryPlan> BuildQ2(const NexmarkQueryOptions& opt) {
   qb.Ingress("bids");
   qb.AddStage("filter", opt.tasks_per_stage)
       .ReadsFrom({"bids"})
-      .Filter([](const StreamRecord& r) {
-        auto bid = DecodeBid(r.value);
-        return bid.ok() && (*bid).auction % 123 == 0;
-      })
+      .Filter(BidOnSampledAuction)
       .Sink("q2");
   return qb.Build();
 }
@@ -117,53 +47,18 @@ Result<QueryPlan> BuildQ3(const NexmarkQueryOptions& opt) {
   qb.Ingress("auctions").Ingress("persons");
   qb.AddStage("fa", opt.tasks_per_stage)
       .ReadsFrom({"auctions"})
-      .Filter([](const StreamRecord& r) {
-        auto a = DecodeAuction(r.value);
-        return a.ok() && (*a).category == 10;
-      })
-      .KeyBy([](const StreamRecord& r) {
-        auto a = DecodeAuction(r.value);
-        return a.ok() ? std::to_string((*a).seller) : std::string();
-      })
+      .Filter(AuctionInCategory10)
+      .KeyBy(AuctionSellerKey)
       .WritesTo("q3.auct");
   qb.AddStage("fp", opt.tasks_per_stage)
       .ReadsFrom({"persons"})
-      .Filter([](const StreamRecord& r) {
-        auto p = DecodePerson(r.value);
-        if (!p.ok()) {
-          return false;
-        }
-        const std::string& s = (*p).state;
-        return s == "OR" || s == "ID" || s == "CA";
-      })
-      .KeyBy([](const StreamRecord& r) {
-        auto p = DecodePerson(r.value);
-        return p.ok() ? std::to_string((*p).id) : std::string();
-      })
+      .Filter(PersonInOrIdCa)
+      .KeyBy(PersonIdKey)
       .WritesTo("q3.pers");
   qb.AddStage("join", opt.tasks_per_stage)
       .ReadsFrom({"q3.auct", "q3.pers"})
-      .JoinTables("q3j",
-                  [](std::string_view auction_raw, std::string_view person_raw)
-                      -> std::string {
-                    auto a = DecodeAuction(auction_raw);
-                    auto p = DecodePerson(person_raw);
-                    BinaryWriter w(96);
-                    if (a.ok() && p.ok()) {
-                      w.WriteString(p->name);
-                      w.WriteString(p->city);
-                      w.WriteString(p->state);
-                      w.WriteVarU64(a->id);
-                    }
-                    return w.Take();
-                  })
-      .KeyBy([](const StreamRecord& r) {
-        BinaryReader reader(r.value);
-        auto name = reader.ReadString();
-        auto city = reader.ReadString();
-        auto state = reader.ReadString();
-        return state.ok() ? *state : std::string("?");
-      })
+      .JoinTables("q3j", JoinAuctionWithPerson)
+      .KeyBy(JoinedRowStateKey)
       .WritesTo("q3.bystate");
   qb.AddStage("agg", opt.tasks_per_stage)
       .ReadsFrom({"q3.bystate"})
@@ -174,87 +69,6 @@ Result<QueryPlan> BuildQ3(const NexmarkQueryOptions& opt) {
 
 // --- Q4 helpers: bid x auction winning-bid pipeline shared with Q6 ---
 
-// Join output: (auction id, category, seller, price) — enough for both Q4
-// (category average) and Q6 (seller average).
-std::string EncodeWin(uint64_t auction, uint64_t category, uint64_t seller,
-                      int64_t price) {
-  BinaryWriter w(40);
-  w.WriteVarU64(auction);
-  w.WriteVarU64(category);
-  w.WriteVarU64(seller);
-  w.WriteVarI64(price);
-  return w.Take();
-}
-
-struct Win {
-  uint64_t auction = 0;
-  uint64_t category = 0;
-  uint64_t seller = 0;
-  int64_t price = 0;
-};
-
-bool DecodeWin(std::string_view raw, Win* win) {
-  BinaryReader r(raw);
-  auto a = r.ReadVarU64();
-  auto c = r.ReadVarU64();
-  auto s = r.ReadVarU64();
-  auto p = r.ReadVarI64();
-  if (!a.ok() || !c.ok() || !s.ok() || !p.ok()) {
-    return false;
-  }
-  win->auction = *a;
-  win->category = *c;
-  win->seller = *s;
-  win->price = *p;
-  return true;
-}
-
-// Max-price accumulator over Win values: the accumulator IS the best Win.
-AggregateFn MaxWinAgg() {
-  AggregateFn agg;
-  agg.init = [] { return std::string(); };
-  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
-    Win best, candidate;
-    bool have_best = !acc.empty() && DecodeWin(acc, &best);
-    if (!DecodeWin(r.value, &candidate)) {
-      return std::string(acc);
-    }
-    if (!have_best || candidate.price > best.price) {
-      return std::string(r.value);
-    }
-    return std::string(acc);
-  };
-  return agg;
-}
-
-// (sum, count) average with retraction, over Win values.
-AggregateFn AvgPriceAgg() {
-  AggregateFn agg;
-  agg.init = [] { return EncodeU64Pair(0, 0); };
-  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
-    uint64_t sum = 0, count = 0;
-    DecodeU64Pair(acc, &sum, &count);
-    Win win;
-    if (DecodeWin(r.value, &win)) {
-      sum += static_cast<uint64_t>(win.price);
-      count += 1;
-    }
-    return EncodeU64Pair(sum, count);
-  };
-  agg.remove = [](std::string_view acc,
-                  std::string_view old_value) -> std::string {
-    uint64_t sum = 0, count = 0;
-    DecodeU64Pair(acc, &sum, &count);
-    Win win;
-    if (DecodeWin(old_value, &win) && count > 0) {
-      sum -= std::min(sum, static_cast<uint64_t>(win.price));
-      count -= 1;
-    }
-    return EncodeU64Pair(sum, count);
-  };
-  return agg;
-}
-
 // Shared first stages of Q4/Q6: key auctions by id and bids by auction,
 // stream-stream join them, keep the running max (winning) bid per auction.
 void AddWinningBidStages(QueryBuilder& qb, const NexmarkQueryOptions& opt,
@@ -262,17 +76,11 @@ void AddWinningBidStages(QueryBuilder& qb, const NexmarkQueryOptions& opt,
   qb.Ingress("bids").Ingress("auctions");
   qb.AddStage("ka", opt.tasks_per_stage)
       .ReadsFrom({"auctions"})
-      .KeyBy([](const StreamRecord& r) {
-        auto a = DecodeAuction(r.value);
-        return a.ok() ? std::to_string((*a).id) : std::string();
-      })
+      .KeyBy(AuctionIdKey)
       .WritesTo(prefix + ".A");
   qb.AddStage("kb", opt.tasks_per_stage)
       .ReadsFrom({"bids"})
-      .KeyBy([](const StreamRecord& r) {
-        auto b = DecodeBid(r.value);
-        return b.ok() ? std::to_string((*b).auction) : std::string();
-      })
+      .KeyBy(BidAuctionKey)
       .WritesTo(prefix + ".B");
 }
 
@@ -281,19 +89,9 @@ StageBuilder& AddWinBidJoinStage(QueryBuilder& qb,
                                  const std::string& prefix) {
   return qb.AddStage("winbid", opt.tasks_per_stage)
       .ReadsFrom({prefix + ".B", prefix + ".A"})
-      .JoinStreams(
-          prefix + "j", opt.join_window,
-          [](std::string_view bid_raw, std::string_view auction_raw)
-              -> std::string {
-            auto b = DecodeBid(bid_raw);
-            auto a = DecodeAuction(auction_raw);
-            if (!b.ok() || !a.ok()) {
-              return std::string();
-            }
-            return EncodeWin(a->id, a->category, a->seller, b->price);
-          },
-          opt.allowed_lateness)
-      .Filter([](const StreamRecord& r) { return !r.value.empty(); })
+      .JoinStreams(prefix + "j", opt.join_window, JoinBidWithAuction,
+                   opt.allowed_lateness)
+      .Filter(NonEmptyValue)
       .Aggregate(prefix + "max", MaxWinAgg());
 }
 
@@ -303,24 +101,12 @@ Result<QueryPlan> BuildQ4(const NexmarkQueryOptions& opt) {
   QueryBuilder qb = MakeBuilder(4);
   AddWinningBidStages(qb, opt, "q4");
   AddWinBidJoinStage(qb, opt, "q4")
-      .KeyBy([](const StreamRecord& r) {
-        Win win;
-        return DecodeWin(r.value, &win) ? std::to_string(win.category)
-                                        : std::string("?");
-      })
+      .KeyBy(WinCategoryKey)
       .WritesTo("q4.maxed");
   qb.AddStage("avg", opt.tasks_per_stage)
       .ReadsFrom({"q4.maxed"})
-      .TableAggregate(
-          "q4avg",
-          /*group_key=*/[](const StreamRecord& r) { return r.key; },
-          AvgPriceAgg(),
-          /*row_key=*/
-          [](const StreamRecord& r) {
-            Win win;
-            return DecodeWin(r.value, &win) ? std::to_string(win.auction)
-                                            : std::string("?");
-          })
+      .TableAggregate("q4avg", /*group_key=*/RecordKey, AvgPriceAgg(),
+                      /*row_key=*/WinAuctionKey)
       .Sink("q4");
   return qb.Build();
 }
@@ -332,11 +118,8 @@ Result<QueryPlan> BuildQ5(const NexmarkQueryOptions& opt) {
   qb.Ingress("bids");
   qb.AddStage("kb", opt.tasks_per_stage)
       .ReadsFrom({"bids"})
-      .Filter([](const StreamRecord& r) { return !r.value.empty(); })
-      .KeyBy([](const StreamRecord& r) {
-        auto b = DecodeBid(r.value);
-        return b.ok() ? std::to_string((*b).auction) : std::string();
-      })
+      .Filter(NonEmptyValue)
+      .KeyBy(BidAuctionKey)
       .WritesTo("q5.byauction");
   qb.AddStage("win", opt.tasks_per_stage)
       .ReadsFrom({"q5.byauction"})
@@ -346,48 +129,12 @@ Result<QueryPlan> BuildQ5(const NexmarkQueryOptions& opt) {
                        WindowSpec::Sliding(opt.q5_window, opt.q5_slide),
                        CountAgg(), opt.allowed_lateness,
                        WindowEmitMode::kEagerSuppressed)
-      .Map([](StreamRecord r) {
-        // (window, count) keyed by auction -> value carrying both so the
-        // per-window max can repartition by window start.
-        TimeNs start = 0;
-        std::string acc;
-        if (DecodeWindowResult(r.value, &start, &acc)) {
-          BinaryWriter w(32);
-          w.WriteVarI64(start);
-          w.WriteString(r.key);  // auction id
-          w.WriteVarU64(DecodeU64(acc));
-          r.value = w.Take();
-        }
-        return r;
-      })
-      .KeyBy([](const StreamRecord& r) {
-        BinaryReader reader(r.value);
-        auto start = reader.ReadVarI64();
-        return start.ok() ? std::to_string(*start) : std::string("?");
-      })
+      .Map(PackQ5WindowCount)
+      .KeyBy(Q5WindowStartKey)
       .WritesTo("q5.counts");
-  AggregateFn hottest;
-  hottest.init = [] { return std::string(); };
-  hottest.add = [](std::string_view acc,
-                   const StreamRecord& r) -> std::string {
-    auto count_of = [](std::string_view raw) -> uint64_t {
-      BinaryReader reader(raw);
-      auto start = reader.ReadVarI64();
-      auto auction = reader.ReadString();
-      auto count = reader.ReadVarU64();
-      if (!start.ok() || !auction.ok() || !count.ok()) {
-        return 0;
-      }
-      return *count;
-    };
-    if (acc.empty() || count_of(r.value) > count_of(acc)) {
-      return std::string(r.value);
-    }
-    return std::string(acc);
-  };
   qb.AddStage("max", opt.tasks_per_stage)
       .ReadsFrom({"q5.counts"})
-      .Aggregate("q5max", hottest)
+      .Aggregate("q5max", HottestAuctionAgg())
       .Sink("q5");
   return qb.Build();
 }
@@ -397,58 +144,10 @@ Result<QueryPlan> BuildQ5(const NexmarkQueryOptions& opt) {
 Result<QueryPlan> BuildQ6(const NexmarkQueryOptions& opt) {
   QueryBuilder qb = MakeBuilder(6);
   AddWinningBidStages(qb, opt, "q6");
-  AddWinBidJoinStage(qb, opt, "q6")
-      .KeyBy([](const StreamRecord& r) {
-        Win win;
-        return DecodeWin(r.value, &win) ? std::to_string(win.seller)
-                                        : std::string("?");
-      })
-      .WritesTo("q6.wins");
-  // Ring of the last 10 winning prices per seller; an update for an auction
-  // already in the ring replaces its price. Accumulator: sequence of
-  // (auction, price) pairs, newest last.
-  AggregateFn last10;
-  last10.init = [] { return std::string(); };
-  last10.add = [](std::string_view acc,
-                  const StreamRecord& r) -> std::string {
-    Win win;
-    if (!DecodeWin(r.value, &win)) {
-      return std::string(acc);
-    }
-    std::vector<std::pair<uint64_t, int64_t>> ring;
-    BinaryReader reader(acc);
-    while (!reader.AtEnd()) {
-      auto auction = reader.ReadVarU64();
-      auto price = reader.ReadVarI64();
-      if (!auction.ok() || !price.ok()) {
-        break;
-      }
-      ring.emplace_back(*auction, *price);
-    }
-    bool replaced = false;
-    for (auto& [auction, price] : ring) {
-      if (auction == win.auction) {
-        price = win.price;
-        replaced = true;
-        break;
-      }
-    }
-    if (!replaced) {
-      ring.emplace_back(win.auction, win.price);
-      if (ring.size() > 10) {
-        ring.erase(ring.begin());
-      }
-    }
-    BinaryWriter w(ring.size() * 12);
-    for (const auto& [auction, price] : ring) {
-      w.WriteVarU64(auction);
-      w.WriteVarI64(price);
-    }
-    return w.Take();
-  };
+  AddWinBidJoinStage(qb, opt, "q6").KeyBy(WinSellerKey).WritesTo("q6.wins");
   qb.AddStage("avg10", opt.tasks_per_stage)
       .ReadsFrom({"q6.wins"})
-      .Aggregate("q6ring", last10)
+      .Aggregate("q6ring", Last10WinsAgg())
       .Sink("q6");
   return qb.Build();
 }
@@ -460,55 +159,17 @@ Result<QueryPlan> BuildQ7(const NexmarkQueryOptions& opt) {
   qb.Ingress("bids");
   // Per-auction window maxima (the partial aggregation / "groupby" of
   // Table 3), then a global per-window max.
-  AggregateFn max_bid;
-  max_bid.init = [] { return std::string(); };
-  max_bid.add = [](std::string_view acc,
-                   const StreamRecord& r) -> std::string {
-    auto price_of = [](std::string_view raw) -> int64_t {
-      auto b = DecodeBid(raw);
-      return b.ok() ? (*b).price : -1;
-    };
-    if (acc.empty() || price_of(r.value) > price_of(acc)) {
-      return std::string(r.value);
-    }
-    return std::string(acc);
-  };
   qb.AddStage("win", opt.tasks_per_stage)
       .ReadsFrom({"bids"})
-      .Filter([](const StreamRecord& r) { return !r.value.empty(); })
-      .WindowAggregate("q7w", WindowSpec::Tumbling(opt.q7_window), max_bid,
-                       opt.allowed_lateness,
+      .Filter(NonEmptyValue)
+      .WindowAggregate("q7w", WindowSpec::Tumbling(opt.q7_window),
+                       MaxBidAgg(), opt.allowed_lateness,
                        WindowEmitMode::kEagerSuppressed)
-      .KeyBy([](const StreamRecord& r) {
-        TimeNs start = 0;
-        std::string acc;
-        if (DecodeWindowResult(r.value, &start, &acc)) {
-          return std::to_string(start);
-        }
-        return std::string("?");
-      })
+      .KeyBy(WindowStartKey)
       .WritesTo("q7.partial");
-  AggregateFn max_of_max;
-  max_of_max.init = [] { return std::string(); };
-  max_of_max.add = [](std::string_view acc,
-                      const StreamRecord& r) -> std::string {
-    auto price_of = [](std::string_view raw) -> int64_t {
-      TimeNs start = 0;
-      std::string bid_raw;
-      if (!DecodeWindowResult(raw, &start, &bid_raw)) {
-        return -1;
-      }
-      auto b = DecodeBid(bid_raw);
-      return b.ok() ? (*b).price : -1;
-    };
-    if (acc.empty() || price_of(r.value) > price_of(acc)) {
-      return std::string(r.value);
-    }
-    return std::string(acc);
-  };
   qb.AddStage("max", opt.tasks_per_stage)
       .ReadsFrom({"q7.partial"})
-      .Aggregate("q7max", max_of_max)
+      .Aggregate("q7max", MaxOfWindowMaxAgg())
       .Sink("q7");
   return qb.Build();
 }
@@ -520,35 +181,16 @@ Result<QueryPlan> BuildQ8(const NexmarkQueryOptions& opt) {
   qb.Ingress("persons").Ingress("auctions");
   qb.AddStage("kp", opt.tasks_per_stage)
       .ReadsFrom({"persons"})
-      .KeyBy([](const StreamRecord& r) {
-        auto p = DecodePerson(r.value);
-        return p.ok() ? std::to_string((*p).id) : std::string();
-      })
+      .KeyBy(PersonIdKey)
       .WritesTo("q8.P");
   qb.AddStage("ka", opt.tasks_per_stage)
       .ReadsFrom({"auctions"})
-      .KeyBy([](const StreamRecord& r) {
-        auto a = DecodeAuction(r.value);
-        return a.ok() ? std::to_string((*a).seller) : std::string();
-      })
+      .KeyBy(AuctionSellerKey)
       .WritesTo("q8.A");
   qb.AddStage("join", opt.tasks_per_stage)
       .ReadsFrom({"q8.P", "q8.A"})
-      .JoinStreams(
-          "q8j", opt.q8_window,
-          [](std::string_view person_raw, std::string_view auction_raw)
-              -> std::string {
-            auto p = DecodePerson(person_raw);
-            auto a = DecodeAuction(auction_raw);
-            BinaryWriter w(48);
-            if (p.ok() && a.ok()) {
-              w.WriteVarU64(p->id);
-              w.WriteString(p->name);
-              w.WriteVarU64(a->id);
-            }
-            return w.Take();
-          },
-          opt.allowed_lateness)
+      .JoinStreams("q8j", opt.q8_window, JoinPersonWithAuction,
+                   opt.allowed_lateness)
       .Aggregate("q8cnt", CountAgg())
       .Sink("q8");
   return qb.Build();

@@ -1,0 +1,418 @@
+#include "src/nexmark/udfs.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/nexmark/events.h"
+
+namespace impeller {
+namespace nexmark {
+
+namespace {
+
+// --- small codecs shared by the aggregates ---
+
+std::string EncodeU64(uint64_t v) {
+  BinaryWriter w(10);
+  w.WriteVarU64(v);
+  return w.Take();
+}
+
+uint64_t DecodeU64(std::string_view raw, uint64_t fallback = 0) {
+  BinaryReader r(raw);
+  auto v = r.ReadVarU64();
+  return v.ok() ? *v : fallback;
+}
+
+// (a, b) pair of varints.
+std::string EncodeU64Pair(uint64_t a, uint64_t b) {
+  BinaryWriter w(20);
+  w.WriteVarU64(a);
+  w.WriteVarU64(b);
+  return w.Take();
+}
+
+bool DecodeU64Pair(std::string_view raw, uint64_t* a, uint64_t* b) {
+  BinaryReader r(raw);
+  auto first = r.ReadVarU64();
+  auto second = r.ReadVarU64();
+  if (!first.ok() || !second.ok()) {
+    return false;
+  }
+  *a = *first;
+  *b = *second;
+  return true;
+}
+
+// WindowAggregateOperator emits value = varint(window start) + string(acc).
+bool DecodeWindowResult(std::string_view raw, TimeNs* start,
+                        std::string* acc) {
+  BinaryReader r(raw);
+  auto s = r.ReadVarI64();
+  auto a = r.ReadString();
+  if (!s.ok() || !a.ok()) {
+    return false;
+  }
+  *start = *s;
+  *acc = std::move(*a);
+  return true;
+}
+
+// Q4/Q6 join output: (auction id, category, seller, price) — enough for
+// both the category average (Q4) and the seller average (Q6).
+std::string EncodeWin(uint64_t auction, uint64_t category, uint64_t seller,
+                      int64_t price) {
+  BinaryWriter w(40);
+  w.WriteVarU64(auction);
+  w.WriteVarU64(category);
+  w.WriteVarU64(seller);
+  w.WriteVarI64(price);
+  return w.Take();
+}
+
+struct Win {
+  uint64_t auction = 0;
+  uint64_t category = 0;
+  uint64_t seller = 0;
+  int64_t price = 0;
+};
+
+bool DecodeWin(std::string_view raw, Win* win) {
+  BinaryReader r(raw);
+  auto a = r.ReadVarU64();
+  auto c = r.ReadVarU64();
+  auto s = r.ReadVarU64();
+  auto p = r.ReadVarI64();
+  if (!a.ok() || !c.ok() || !s.ok() || !p.ok()) {
+    return false;
+  }
+  win->auction = *a;
+  win->category = *c;
+  win->seller = *s;
+  win->price = *p;
+  return true;
+}
+
+}  // namespace
+
+// --- predicates ---
+
+bool NonEmptyValue(const StreamRecord& r) { return !r.value.empty(); }
+
+bool BidOnSampledAuction(const StreamRecord& r) {
+  auto bid = DecodeBid(r.value);
+  return bid.ok() && (*bid).auction % 123 == 0;
+}
+
+bool AuctionInCategory10(const StreamRecord& r) {
+  auto a = DecodeAuction(r.value);
+  return a.ok() && (*a).category == 10;
+}
+
+bool PersonInOrIdCa(const StreamRecord& r) {
+  auto p = DecodePerson(r.value);
+  if (!p.ok()) {
+    return false;
+  }
+  const std::string& s = (*p).state;
+  return s == "OR" || s == "ID" || s == "CA";
+}
+
+// --- maps ---
+
+StreamRecord ConvertUsdToEur(StreamRecord r) {
+  auto bid = DecodeBid(r.value);
+  if (bid.ok()) {
+    bid->price = static_cast<int64_t>(
+        std::llround(static_cast<double>(bid->price) * 0.908));
+    r.value = EncodeBid(*bid);
+  }
+  return r;
+}
+
+StreamRecord PackQ5WindowCount(StreamRecord r) {
+  TimeNs start = 0;
+  std::string acc;
+  if (DecodeWindowResult(r.value, &start, &acc)) {
+    BinaryWriter w(32);
+    w.WriteVarI64(start);
+    w.WriteString(r.key);  // auction id
+    w.WriteVarU64(DecodeU64(acc));
+    r.value = w.Take();
+  }
+  return r;
+}
+
+// --- key extractors ---
+
+std::string AuctionSellerKey(const StreamRecord& r) {
+  auto a = DecodeAuction(r.value);
+  return a.ok() ? std::to_string((*a).seller) : std::string();
+}
+
+std::string AuctionIdKey(const StreamRecord& r) {
+  auto a = DecodeAuction(r.value);
+  return a.ok() ? std::to_string((*a).id) : std::string();
+}
+
+std::string PersonIdKey(const StreamRecord& r) {
+  auto p = DecodePerson(r.value);
+  return p.ok() ? std::to_string((*p).id) : std::string();
+}
+
+std::string BidAuctionKey(const StreamRecord& r) {
+  auto b = DecodeBid(r.value);
+  return b.ok() ? std::to_string((*b).auction) : std::string();
+}
+
+std::string JoinedRowStateKey(const StreamRecord& r) {
+  BinaryReader reader(r.value);
+  auto name = reader.ReadString();
+  auto city = reader.ReadString();
+  auto state = reader.ReadString();
+  return state.ok() ? *state : std::string("?");
+}
+
+std::string WinCategoryKey(const StreamRecord& r) {
+  Win win;
+  return DecodeWin(r.value, &win) ? std::to_string(win.category)
+                                  : std::string("?");
+}
+
+std::string WinSellerKey(const StreamRecord& r) {
+  Win win;
+  return DecodeWin(r.value, &win) ? std::to_string(win.seller)
+                                  : std::string("?");
+}
+
+std::string WinAuctionKey(const StreamRecord& r) {
+  Win win;
+  return DecodeWin(r.value, &win) ? std::to_string(win.auction)
+                                  : std::string("?");
+}
+
+std::string Q5WindowStartKey(const StreamRecord& r) {
+  BinaryReader reader(r.value);
+  auto start = reader.ReadVarI64();
+  return start.ok() ? std::to_string(*start) : std::string("?");
+}
+
+std::string WindowStartKey(const StreamRecord& r) {
+  TimeNs start = 0;
+  std::string acc;
+  if (DecodeWindowResult(r.value, &start, &acc)) {
+    return std::to_string(start);
+  }
+  return std::string("?");
+}
+
+std::string RecordKey(const StreamRecord& r) { return r.key; }
+
+// --- joins ---
+
+std::string JoinAuctionWithPerson(std::string_view auction_raw,
+                                  std::string_view person_raw) {
+  auto a = DecodeAuction(auction_raw);
+  auto p = DecodePerson(person_raw);
+  BinaryWriter w(96);
+  if (a.ok() && p.ok()) {
+    w.WriteString(p->name);
+    w.WriteString(p->city);
+    w.WriteString(p->state);
+    w.WriteVarU64(a->id);
+  }
+  return w.Take();
+}
+
+std::string JoinBidWithAuction(std::string_view bid_raw,
+                               std::string_view auction_raw) {
+  auto b = DecodeBid(bid_raw);
+  auto a = DecodeAuction(auction_raw);
+  if (!b.ok() || !a.ok()) {
+    return std::string();
+  }
+  return EncodeWin(a->id, a->category, a->seller, b->price);
+}
+
+std::string JoinPersonWithAuction(std::string_view person_raw,
+                                  std::string_view auction_raw) {
+  auto p = DecodePerson(person_raw);
+  auto a = DecodeAuction(auction_raw);
+  BinaryWriter w(48);
+  if (p.ok() && a.ok()) {
+    w.WriteVarU64(p->id);
+    w.WriteString(p->name);
+    w.WriteVarU64(a->id);
+  }
+  return w.Take();
+}
+
+// --- aggregates ---
+
+AggregateFn CountAgg() {
+  AggregateFn agg;
+  agg.init = [] { return EncodeU64(0); };
+  agg.add = [](std::string_view acc, const StreamRecord&) {
+    return EncodeU64(DecodeU64(acc) + 1);
+  };
+  agg.remove = [](std::string_view acc, std::string_view) {
+    uint64_t c = DecodeU64(acc);
+    return EncodeU64(c > 0 ? c - 1 : 0);
+  };
+  return agg;
+}
+
+// Max-price accumulator over Win values: the accumulator IS the best Win.
+AggregateFn MaxWinAgg() {
+  AggregateFn agg;
+  agg.init = [] { return std::string(); };
+  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
+    Win best, candidate;
+    bool have_best = !acc.empty() && DecodeWin(acc, &best);
+    if (!DecodeWin(r.value, &candidate)) {
+      return std::string(acc);
+    }
+    if (!have_best || candidate.price > best.price) {
+      return std::string(r.value);
+    }
+    return std::string(acc);
+  };
+  return agg;
+}
+
+// (sum, count) average with retraction, over Win values.
+AggregateFn AvgPriceAgg() {
+  AggregateFn agg;
+  agg.init = [] { return EncodeU64Pair(0, 0); };
+  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
+    uint64_t sum = 0, count = 0;
+    DecodeU64Pair(acc, &sum, &count);
+    Win win;
+    if (DecodeWin(r.value, &win)) {
+      sum += static_cast<uint64_t>(win.price);
+      count += 1;
+    }
+    return EncodeU64Pair(sum, count);
+  };
+  agg.remove = [](std::string_view acc,
+                  std::string_view old_value) -> std::string {
+    uint64_t sum = 0, count = 0;
+    DecodeU64Pair(acc, &sum, &count);
+    Win win;
+    if (DecodeWin(old_value, &win) && count > 0) {
+      sum -= std::min(sum, static_cast<uint64_t>(win.price));
+      count -= 1;
+    }
+    return EncodeU64Pair(sum, count);
+  };
+  return agg;
+}
+
+// Ring of the last 10 winning prices per seller; an update for an auction
+// already in the ring replaces its price. Accumulator: sequence of
+// (auction, price) pairs, newest last.
+AggregateFn Last10WinsAgg() {
+  AggregateFn agg;
+  agg.init = [] { return std::string(); };
+  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
+    Win win;
+    if (!DecodeWin(r.value, &win)) {
+      return std::string(acc);
+    }
+    std::vector<std::pair<uint64_t, int64_t>> ring;
+    BinaryReader reader(acc);
+    while (!reader.AtEnd()) {
+      auto auction = reader.ReadVarU64();
+      auto price = reader.ReadVarI64();
+      if (!auction.ok() || !price.ok()) {
+        break;
+      }
+      ring.emplace_back(*auction, *price);
+    }
+    bool replaced = false;
+    for (auto& [auction, price] : ring) {
+      if (auction == win.auction) {
+        price = win.price;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      ring.emplace_back(win.auction, win.price);
+      if (ring.size() > 10) {
+        ring.erase(ring.begin());
+      }
+    }
+    BinaryWriter w(ring.size() * 12);
+    for (const auto& [auction, price] : ring) {
+      w.WriteVarU64(auction);
+      w.WriteVarI64(price);
+    }
+    return w.Take();
+  };
+  return agg;
+}
+
+AggregateFn HottestAuctionAgg() {
+  AggregateFn agg;
+  agg.init = [] { return std::string(); };
+  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
+    auto count_of = [](std::string_view raw) -> uint64_t {
+      BinaryReader reader(raw);
+      auto start = reader.ReadVarI64();
+      auto auction = reader.ReadString();
+      auto count = reader.ReadVarU64();
+      if (!start.ok() || !auction.ok() || !count.ok()) {
+        return 0;
+      }
+      return *count;
+    };
+    if (acc.empty() || count_of(r.value) > count_of(acc)) {
+      return std::string(r.value);
+    }
+    return std::string(acc);
+  };
+  return agg;
+}
+
+AggregateFn MaxBidAgg() {
+  AggregateFn agg;
+  agg.init = [] { return std::string(); };
+  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
+    auto price_of = [](std::string_view raw) -> int64_t {
+      auto b = DecodeBid(raw);
+      return b.ok() ? (*b).price : -1;
+    };
+    if (acc.empty() || price_of(r.value) > price_of(acc)) {
+      return std::string(r.value);
+    }
+    return std::string(acc);
+  };
+  return agg;
+}
+
+AggregateFn MaxOfWindowMaxAgg() {
+  AggregateFn agg;
+  agg.init = [] { return std::string(); };
+  agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
+    auto price_of = [](std::string_view raw) -> int64_t {
+      TimeNs start = 0;
+      std::string bid_raw;
+      if (!DecodeWindowResult(raw, &start, &bid_raw)) {
+        return -1;
+      }
+      auto b = DecodeBid(bid_raw);
+      return b.ok() ? (*b).price : -1;
+    };
+    if (acc.empty() || price_of(r.value) > price_of(acc)) {
+      return std::string(r.value);
+    }
+    return std::string(acc);
+  };
+  return agg;
+}
+
+}  // namespace nexmark
+}  // namespace impeller

@@ -1,0 +1,64 @@
+// Named NEXMark UDFs, factored out of the query builders so the same code
+// backs both the imperative QueryBuilder path (src/nexmark/queries.cc) and
+// the declarative plan path (src/nexmark/plan_queries.cc): a plan-built
+// query and its imperative twin execute byte-identical logic by
+// construction. Handle names used by the plan IR are the snake_case of the
+// function names (see NexmarkUdfRegistry).
+#ifndef IMPELLER_SRC_NEXMARK_UDFS_H_
+#define IMPELLER_SRC_NEXMARK_UDFS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/core/aggregate.h"
+#include "src/core/operator.h"
+
+namespace impeller {
+namespace nexmark {
+
+// --- predicates ---
+bool NonEmptyValue(const StreamRecord& r);
+bool BidOnSampledAuction(const StreamRecord& r);   // Q2: auction % 123 == 0
+bool AuctionInCategory10(const StreamRecord& r);   // Q3
+bool PersonInOrIdCa(const StreamRecord& r);        // Q3: OR / ID / CA
+
+// --- maps ---
+StreamRecord ConvertUsdToEur(StreamRecord r);  // Q1: price * 0.908
+// Q5: (window, count) keyed by auction -> value carrying (start, auction,
+// count) so the per-window max can repartition by window start.
+StreamRecord PackQ5WindowCount(StreamRecord r);
+
+// --- key extractors ---
+std::string AuctionSellerKey(const StreamRecord& r);   // Q3 fa, Q8 ka
+std::string AuctionIdKey(const StreamRecord& r);       // Q4/Q6 ka
+std::string PersonIdKey(const StreamRecord& r);        // Q3 fp, Q8 kp
+std::string BidAuctionKey(const StreamRecord& r);      // Q4/Q5/Q6 kb
+std::string JoinedRowStateKey(const StreamRecord& r);  // Q3: state of row
+std::string WinCategoryKey(const StreamRecord& r);     // Q4
+std::string WinSellerKey(const StreamRecord& r);       // Q6
+std::string WinAuctionKey(const StreamRecord& r);      // Q4 row identity
+std::string Q5WindowStartKey(const StreamRecord& r);   // Q5 packed value
+std::string WindowStartKey(const StreamRecord& r);     // Q7 window result
+std::string RecordKey(const StreamRecord& r);          // passthrough r.key
+
+// --- joins ---
+std::string JoinAuctionWithPerson(std::string_view auction_raw,
+                                  std::string_view person_raw);  // Q3
+std::string JoinBidWithAuction(std::string_view bid_raw,
+                               std::string_view auction_raw);    // Q4/Q6
+std::string JoinPersonWithAuction(std::string_view person_raw,
+                                  std::string_view auction_raw); // Q8
+
+// --- aggregates ---
+AggregateFn CountAgg();           // Q3/Q8 counts
+AggregateFn MaxWinAgg();          // Q4/Q6 winning (max-price) bid
+AggregateFn AvgPriceAgg();        // Q4 category average with retraction
+AggregateFn Last10WinsAgg();      // Q6 ring of last 10 winning prices
+AggregateFn HottestAuctionAgg();  // Q5 per-window max count
+AggregateFn MaxBidAgg();          // Q7 per-auction window max
+AggregateFn MaxOfWindowMaxAgg();  // Q7 global per-window max
+
+}  // namespace nexmark
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_NEXMARK_UDFS_H_

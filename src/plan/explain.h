@@ -1,0 +1,21 @@
+// Plan introspection: renders a LoweredPlan as a deterministic text tree
+// (the format checked into tests/golden/) or as Graphviz DOT. Both show
+// per-stage operator chains, partitioning (task counts, stateful or not),
+// boundary streams, and the log hops fusion eliminated.
+#ifndef IMPELLER_SRC_PLAN_EXPLAIN_H_
+#define IMPELLER_SRC_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "src/plan/lowering.h"
+
+namespace impeller {
+namespace plan {
+
+std::string ExplainText(const LoweredPlan& lowered);
+std::string ExplainDot(const LoweredPlan& lowered);
+
+}  // namespace plan
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_PLAN_EXPLAIN_H_

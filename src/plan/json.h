@@ -1,0 +1,88 @@
+// Minimal JSON document model used by the plan IR for serialization
+// (src/plan/ir.h). Self-contained — the repo deliberately has no external
+// JSON dependency — and small: ordered objects, arrays, strings, numbers,
+// bools, null. Numbers are stored as doubles; the IR only serializes
+// durations and small counts, all exactly representable.
+#ifndef IMPELLER_SRC_PLAN_JSON_H_
+#define IMPELLER_SRC_PLAN_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace impeller {
+namespace plan {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double n);
+  static Json Int(int64_t n) { return Number(static_cast<double>(n)); }
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  // Strict parser: one value, no trailing garbage. Errors carry a byte
+  // offset and a short description.
+  static Result<Json> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+  Json& Push(Json value);  // returns the inserted element
+
+  // Object access (insertion-ordered; duplicate keys rejected by Set).
+  const Json* Find(std::string_view key) const;
+  Json& Set(std::string key, Json value);
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  // Convenience typed getters for objects; `fallback` when the key is
+  // missing or has the wrong type.
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  // Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// Escapes a string for embedding in JSON (quotes included).
+std::string JsonQuote(std::string_view s);
+
+}  // namespace plan
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_PLAN_JSON_H_

@@ -1,0 +1,64 @@
+#include "src/plan/optimizer.h"
+
+#include "src/plan/passes/passes.h"
+
+namespace impeller {
+namespace plan {
+
+Optimizer Optimizer::Default(bool fuse) {
+  Optimizer opt;
+  // Rewriting passes first (they reorder/insert nodes), fusion last (it
+  // decides the stage boundaries for whatever the rewrites produced).
+  opt.AddPass(MakePredicatePushdownPass());
+  opt.AddPass(MakeProjectionPruningPass());
+  opt.AddPass(MakeFusionPass(fuse));
+  return opt;
+}
+
+Optimizer& Optimizer::AddPass(std::unique_ptr<PlanPass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Result<OptimizedPlan> Optimizer::Run(const LogicalPlan& input,
+                                     const UdfRegistry& registry) const {
+  IMPELLER_RETURN_IF_ERROR(input.Validate());
+
+  OptimizedPlan out;
+  out.plan = input;
+
+  PassContext ctx;
+  ctx.plan = &out.plan;
+  ctx.registry = &registry;
+
+  for (const auto& pass : passes_) {
+    IMPELLER_ASSIGN_OR_RETURN(int rewrites, pass->Run(&ctx));
+    if (rewrites > 0) {
+      // A rewriting pass must leave the plan structurally valid; catching a
+      // pass bug here beats a confusing lowering failure later.
+      Status valid = out.plan.Validate();
+      if (!valid.ok()) {
+        return InternalError("optimizer pass '" + std::string(pass->name()) +
+                             "' corrupted the plan: " +
+                             std::string(valid.message()));
+      }
+    }
+  }
+
+  out.group_of = std::move(ctx.group_of);
+  out.groups = std::move(ctx.groups);
+  out.fused_edges = std::move(ctx.fused_edges);
+  out.pruned_fields = std::move(ctx.pruned_fields);
+  out.pass_log = std::move(ctx.log);
+  out.hops_eliminated = static_cast<int>(out.fused_edges.size());
+
+  if (out.groups.empty()) {
+    return InternalError(
+        "optimizer pipeline produced no stage grouping; a fusion pass "
+        "(MakeFusionPass) must run last");
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace impeller

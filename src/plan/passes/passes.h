@@ -1,0 +1,31 @@
+// Factories for the built-in optimizer passes. Each pass lives in its own
+// .cc file in this directory; adding a pass means adding one file here and
+// one line to Optimizer::Default().
+#ifndef IMPELLER_SRC_PLAN_PASSES_PASSES_H_
+#define IMPELLER_SRC_PLAN_PASSES_PASSES_H_
+
+#include <memory>
+
+#include "src/plan/optimizer.h"
+
+namespace impeller {
+namespace plan {
+
+// Moves filters toward sources past maps/flat_maps/key_bys whose declared
+// traits prove the swap safe (see UdfTraits). Runs to fixpoint.
+std::unique_ptr<PlanPass> MakePredicatePushdownPass();
+
+// Computes, per ingress stream with a registered schema, the field subset
+// the plan actually reads; records prunable streams for lowering (which
+// inserts a registered projector, if any, at the consuming stage head).
+std::unique_ptr<PlanPass> MakeProjectionPruningPass();
+
+// Assigns nodes to fused stages. `fuse` true packs maximal linear operator
+// chains into single stages — each fused edge removes one shared-log hop;
+// false gives every operator its own stage (the ablation baseline).
+std::unique_ptr<PlanPass> MakeFusionPass(bool fuse);
+
+}  // namespace plan
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_PLAN_PASSES_PASSES_H_

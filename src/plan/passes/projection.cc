@@ -1,0 +1,155 @@
+// Projection pruning: for each ingress stream with a registered schema,
+// computes the subset of fields the plan can actually observe and records
+// streams whose needed set is narrower than their schema. Lowering inserts
+// a registered projector map (if any) at the consuming stage head; without
+// one the result is advisory and surfaced by Explain().
+//
+// Needed-field analysis runs backward over the DAG:
+//   - sinks, aggregates, and joins need "*" (they emit or fold the whole
+//     record, so every surviving field is observable downstream);
+//   - a map/flat_map needs what its UDF reads, plus any downstream needs
+//     it declares it preserves (preserved fields flow through);
+//   - a filter or key_by passes the value through unchanged, so it needs
+//     what its UDF reads plus everything downstream needs.
+// The conservative trait default (reads = {"*"}) therefore disables
+// pruning for any stream touched by an undeclared UDF.
+#include <map>
+#include <string>
+
+#include "src/plan/passes/passes.h"
+
+namespace impeller {
+namespace plan {
+namespace {
+
+constexpr char kAll[] = "*";
+
+bool HasAll(const std::set<std::string>& fields) {
+  return fields.count(kAll) != 0;
+}
+
+std::string JoinFields(const std::set<std::string>& fields) {
+  std::string out;
+  for (const auto& f : fields) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += f;
+  }
+  return out;
+}
+
+class ProjectionPruningPass : public PlanPass {
+ public:
+  std::string_view name() const override { return "projection-pruning"; }
+
+  Result<int> Run(PassContext* ctx) override {
+    const LogicalPlan& plan = *ctx->plan;
+    needed_.clear();
+    ctx->pruned_fields.clear();
+
+    int pruned = 0;
+    for (const auto& node : plan.nodes) {
+      if (node.kind != OpKind::kSource) {
+        continue;
+      }
+      const std::vector<std::string>* schema =
+          ctx->registry->Schema(node.stream);
+      if (schema == nullptr) {
+        continue;  // opaque stream; nothing to reason about
+      }
+      std::set<std::string> needed;
+      for (const auto& consumer : plan.ConsumersOf(node.id)) {
+        Union(&needed, Needed(plan, *ctx->registry, consumer));
+      }
+      if (HasAll(needed)) {
+        continue;
+      }
+      std::set<std::string> kept;
+      for (const auto& field : *schema) {
+        if (needed.count(field) != 0) {
+          kept.insert(field);
+        }
+      }
+      if (kept.size() < schema->size()) {
+        ctx->pruned_fields[node.stream] = kept;
+        ctx->Note(name(), "stream '" + node.stream + "' prunable to {" +
+                              JoinFields(kept) + "} of " +
+                              std::to_string(schema->size()) + " field(s)");
+        ++pruned;
+      }
+    }
+    return pruned;
+  }
+
+ private:
+  static void Union(std::set<std::string>* into,
+                    const std::set<std::string>& from) {
+    into->insert(from.begin(), from.end());
+  }
+
+  // Fields of `id`'s *input* records that `id` or anything downstream of it
+  // can observe. Memoized; the plan is a DAG so recursion terminates.
+  const std::set<std::string>& Needed(const LogicalPlan& plan,
+                                      const UdfRegistry& registry,
+                                      const std::string& id) {
+    auto it = needed_.find(id);
+    if (it != needed_.end()) {
+      return it->second;
+    }
+    const PlanNode* node = plan.FindNode(id);
+    std::set<std::string> result;
+    switch (node->kind) {
+      case OpKind::kFilter:
+      case OpKind::kKeyBy: {
+        result = registry.Traits(node->expr).reads;
+        for (const auto& consumer : plan.ConsumersOf(id)) {
+          Union(&result, Needed(plan, registry, consumer));
+        }
+        break;
+      }
+      case OpKind::kMap:
+      case OpKind::kFlatMap: {
+        UdfTraits traits = registry.Traits(node->expr);
+        result = traits.reads;
+        // Downstream needs flow through only for declared-preserved fields.
+        std::set<std::string> downstream;
+        for (const auto& consumer : plan.ConsumersOf(id)) {
+          Union(&downstream, Needed(plan, registry, consumer));
+        }
+        if (HasAll(traits.preserves)) {
+          Union(&result, downstream);
+        } else if (HasAll(downstream)) {
+          // Downstream observes every output field, so every declared-
+          // preserved input field is observable.
+          Union(&result, traits.preserves);
+        } else {
+          for (const auto& field : downstream) {
+            if (traits.preserves.count(field) != 0) {
+              result.insert(field);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        // Aggregates, joins, and sinks fold or emit whole records.
+        result = {kAll};
+    }
+    if (HasAll(result)) {
+      result = {kAll};
+    }
+    return needed_.emplace(id, std::move(result)).first->second;
+  }
+
+  std::map<std::string, std::set<std::string>> needed_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlanPass> MakeProjectionPruningPass() {
+  return std::make_unique<ProjectionPruningPass>();
+}
+
+}  // namespace plan
+}  // namespace impeller

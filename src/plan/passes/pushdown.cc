@@ -1,0 +1,110 @@
+// Predicate pushdown: hoists filters toward sources so records that will
+// be dropped anyway die before paying append/read round trips and UDF
+// work. Legality is proven from declared UdfTraits; the conservative
+// defaults (a UDF reads everything and preserves nothing) make the pass a
+// no-op for any plan whose UDFs never opted in — it can only fire where it
+// is provably safe.
+//
+// A filter F may swap with its single-input, single-consumer producer P:
+//   - P is a map or flat_map, every field F reads is in P.preserves, and
+//     (if F reads the record key) P preserves the key. flat_map is safe
+//     because filtering each duplicate of a record equals filtering the
+//     record first: the predicate sees identical (key, preserved-field)
+//     inputs either way.
+//   - P is a key_by and F does not read the key (key_by rewrites only the
+//     key; values pass through untouched).
+// Stateful nodes, joins, and sources are barriers. Runs to fixpoint.
+#include <algorithm>
+#include <string>
+
+#include "src/plan/passes/passes.h"
+
+namespace impeller {
+namespace plan {
+namespace {
+
+bool ReadsSubsetOfPreserves(const UdfTraits& filter, const UdfTraits& prod) {
+  if (filter.reads.count("*") != 0) {
+    return false;  // filter reads everything; nothing short of identity helps
+  }
+  if (prod.preserves.count("*") != 0) {
+    return true;
+  }
+  return std::all_of(filter.reads.begin(), filter.reads.end(),
+                     [&](const std::string& f) {
+                       return prod.preserves.count(f) != 0;
+                     });
+}
+
+class PredicatePushdownPass : public PlanPass {
+ public:
+  std::string_view name() const override { return "predicate-pushdown"; }
+
+  Result<int> Run(PassContext* ctx) override {
+    LogicalPlan& plan = *ctx->plan;
+    const UdfRegistry& registry = *ctx->registry;
+    int rewrites = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& node : plan.nodes) {
+        if (node.kind != OpKind::kFilter) {
+          continue;
+        }
+        PlanNode* producer = plan.FindNode(node.inputs[0]);
+        if (plan.ConsumersOf(producer->id).size() != 1) {
+          continue;  // producer feeds others; hoisting would filter them too
+        }
+        UdfTraits ft = registry.Traits(node.expr);
+        bool legal = false;
+        if (producer->kind == OpKind::kMap ||
+            producer->kind == OpKind::kFlatMap) {
+          UdfTraits pt = registry.Traits(producer->expr);
+          legal = ReadsSubsetOfPreserves(ft, pt) &&
+                  (!ft.reads_key || pt.preserves_key);
+        } else if (producer->kind == OpKind::kKeyBy) {
+          legal = !ft.reads_key;
+        }
+        if (!legal) {
+          continue;
+        }
+
+        // Swap: grandparent -> filter -> producer -> old consumers.
+        std::string grandparent = producer->inputs[0];
+        for (const auto& consumer_id : plan.ConsumersOf(node.id)) {
+          PlanNode* consumer = plan.FindNode(consumer_id);
+          for (auto& input : consumer->inputs) {
+            if (input == node.id) {
+              input = producer->id;
+            }
+          }
+        }
+        producer->inputs[0] = node.id;
+        node.inputs[0] = grandparent;
+        // Lowering hints are positional: they stay with the slot, not the
+        // operator, so stage/stream naming is unaffected by the swap.
+        std::swap(node.stage_hint, producer->stage_hint);
+        std::swap(node.stream, producer->stream);
+        std::swap(node.tasks, producer->tasks);
+
+        ctx->Note(name(), "hoisted filter '" + node.expr + "' (" + node.id +
+                              ") above " +
+                              std::string(OpKindName(producer->kind)) + " '" +
+                              producer->id + "'");
+        ++rewrites;
+        changed = true;
+        break;  // node list mutated; rescan from the top
+      }
+    }
+    return rewrites;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlanPass> MakePredicatePushdownPass() {
+  return std::make_unique<PredicatePushdownPass>();
+}
+
+}  // namespace plan
+}  // namespace impeller

@@ -93,6 +93,90 @@ TEST(QueryBuilderTest, RejectsDuplicateStageNames) {
   EXPECT_FALSE(qb.Build().ok());
 }
 
+TEST(QueryBuilderTest, NoProducerErrorNamesStreamAndRemedies) {
+  QueryBuilder qb("q");
+  qb.AddStage("s", 1).ReadsFrom({"nope"}).Map(PassThrough).Sink("x");
+  auto plan = qb.Build();
+  ASSERT_FALSE(plan.ok());
+  std::string msg(plan.status().message());
+  EXPECT_NE(msg.find("'nope'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("no producer"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Ingress"), std::string::npos) << msg;
+}
+
+TEST(QueryBuilderTest, MultipleConsumersErrorNamesBothStages) {
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("a", 1).ReadsFrom({"in"}).Map(PassThrough).WritesTo("mid");
+  qb.AddStage("b", 1).ReadsFrom({"mid"}).Map(PassThrough).Sink("b");
+  qb.AddStage("c", 1).ReadsFrom({"mid"}).Map(PassThrough).Sink("c");
+  auto plan = qb.Build();
+  ASSERT_FALSE(plan.ok());
+  std::string msg(plan.status().message());
+  EXPECT_NE(msg.find("'mid'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'b'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'c'"), std::string::npos) << msg;
+}
+
+TEST(QueryBuilderTest, RejectsTwoStageCycle) {
+  // A reads B's output and vice versa. Streams register before consumers
+  // resolve, so without explicit cycle detection this builds "successfully"
+  // and deadlocks at runtime.
+  QueryBuilder qb("q");
+  qb.AddStage("a", 1).ReadsFrom({"b.out"}).Map(PassThrough).WritesTo("a.out");
+  qb.AddStage("b", 1).ReadsFrom({"a.out"}).Map(PassThrough).WritesTo("b.out");
+  auto plan = qb.Build();
+  ASSERT_FALSE(plan.ok());
+  std::string msg(plan.status().message());
+  EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'a'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'b'"), std::string::npos) << msg;
+}
+
+TEST(QueryBuilderTest, RejectsSelfLoopStage) {
+  QueryBuilder qb("q");
+  qb.AddStage("loop", 1)
+      .ReadsFrom({"loop.out"})
+      .Map(PassThrough)
+      .WritesTo("loop.out");
+  auto plan = qb.Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(std::string(plan.status().message()).find("cycle"),
+            std::string::npos);
+}
+
+TEST(QueryBuilderTest, RejectsCycleHangingOffValidPipeline) {
+  // The main pipeline is fine; a detached 2-stage cycle rides along.
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("main", 1).ReadsFrom({"in"}).Map(PassThrough).Sink("x");
+  qb.AddStage("c1", 1).ReadsFrom({"c2.out"}).Map(PassThrough).WritesTo(
+      "c1.out");
+  qb.AddStage("c2", 1).ReadsFrom({"c1.out"}).Map(PassThrough).WritesTo(
+      "c2.out");
+  auto plan = qb.Build();
+  ASSERT_FALSE(plan.ok());
+  std::string msg(plan.status().message());
+  EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("'main'"), std::string::npos) << msg;
+}
+
+TEST(QueryBuilderTest, DiamondOverTwoStreamsResolves) {
+  // Fan-out via two distinct output streams (one consumer each) is legal;
+  // only sharing one stream between consumers is not.
+  QueryBuilder qb("q");
+  qb.Ingress("in");
+  qb.AddStage("split", 1)
+      .ReadsFrom({"in"})
+      .Map(PassThrough)
+      .WritesTo("left")
+      .WritesTo("right");
+  qb.AddStage("l", 1).ReadsFrom({"left"}).Map(PassThrough).Sink("l");
+  qb.AddStage("r", 1).ReadsFrom({"right"}).Map(PassThrough).Sink("r");
+  auto plan = qb.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
 TEST(QueryBuilderTest, MultiInputJoinStage) {
   QueryBuilder qb("j");
   qb.Ingress("left").Ingress("right");
