@@ -1,0 +1,69 @@
+// Global operator new/delete override that feeds obs::RecordAllocation so
+// benchmarks can report allocs_per_record. Replaceable allocation functions
+// must be defined in exactly one translation unit of the binary — include
+// this header from the benchmark's main .cc file only. Production binaries
+// never include it, so their allocation path is untouched.
+#ifndef IMPELLER_BENCH_ALLOC_HOOK_H_
+#define IMPELLER_BENCH_ALLOC_HOOK_H_
+
+#include <cstdlib>
+#include <new>
+
+#include "src/obs/alloc_stats.h"
+
+namespace impeller {
+namespace bench {
+inline void* HookedAlloc(std::size_t n) {
+  obs::RecordAllocation(n);
+  if (void* p = std::malloc(n ? n : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+inline void* HookedAlignedAlloc(std::size_t n, std::align_val_t al) {
+  obs::RecordAllocation(n);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), n) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace bench
+}  // namespace impeller
+
+void* operator new(std::size_t n) { return impeller::bench::HookedAlloc(n); }
+void* operator new[](std::size_t n) { return impeller::bench::HookedAlloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return impeller::bench::HookedAlignedAlloc(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return impeller::bench::HookedAlignedAlloc(n, al);
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  impeller::obs::RecordAllocation(n);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  impeller::obs::RecordAllocation(n);
+  return std::malloc(n ? n : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // IMPELLER_BENCH_ALLOC_HOOK_H_

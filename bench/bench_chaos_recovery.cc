@@ -126,7 +126,8 @@ std::vector<std::string> CollectCommitted(Engine& engine) {
       return {};
     }
     for (const auto& r : *records) {
-      lines.push_back(r.data.key + "|" + r.data.value);
+      lines.push_back(std::string(r.data.key) + "|" +
+                      std::string(r.data.value));
     }
   }
   std::sort(lines.begin(), lines.end());

@@ -511,6 +511,14 @@ inline RunResult RunPreparedPoint(const RunConfig& config, QueryPlan plan,
   result.inputs = (*driver)->events_sent();
   engine.Stop();
   int64_t cutoff = config.query <= 2 ? 60 * kMillisecond : kSecond;
+  // saturated means "this point is past the knee": either the sink's p99
+  // blew through the paper's cutoff, or the sink produced nothing at all
+  // (p50 == 0). The second arm has a benign cause in fast mode: q3-q8 use
+  // 10 s windows but IMPELLER_BENCH_FAST measures for ~1.5 s, so no window
+  // can fire before the run ends — the pipeline is consuming, not stalled.
+  // The JSON row therefore always carries the consumed-input rate, and a
+  // saturated row records which arm tripped, so the trajectory stays
+  // informative even when the output-side numbers are all zero.
   result.saturated = result.p99 > cutoff || result.p50 == 0;
   BenchObs::Instance().OnRunEnd(&engine, config, result);
 
@@ -528,19 +536,26 @@ inline RunResult RunPreparedPoint(const RunConfig& config, QueryPlan plan,
   point.p50_ns = result.p50;
   point.p99_ns = result.p99;
   {
-    char extra[256];
+    double run_sec = config.warmup_sec + config.measure_sec;
+    double input_rate = run_sec > 0 ? result.inputs / run_sec : 0;
+    char extra[384];
     std::snprintf(extra, sizeof(extra),
                   "\"system\": \"%s\", \"query\": %d, "
                   "\"events_per_sec\": %.0f, \"commit_interval_ms\": %.1f, "
                   "\"tasks_per_stage\": %u, \"inputs\": %llu, "
-                  "\"outputs\": %llu, \"saturated\": %s",
+                  "\"outputs\": %llu, \"input_rate\": %.0f, "
+                  "\"saturated\": %s",
                   SystemName(config.system), config.query,
                   config.events_per_sec, config.commit_interval / 1e6,
                   config.tasks_per_stage,
                   static_cast<unsigned long long>(result.inputs),
-                  static_cast<unsigned long long>(result.outputs),
+                  static_cast<unsigned long long>(result.outputs), input_rate,
                   result.saturated ? "true" : "false");
     point.extra = extra;
+    if (result.saturated) {
+      point.extra += result.p50 == 0 ? ", \"saturation_cause\": \"no_output\""
+                                     : ", \"saturation_cause\": \"latency\"";
+    }
     if (!extra_json.empty()) {
       point.extra += ", " + extra_json;
     }

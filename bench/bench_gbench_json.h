@@ -41,13 +41,25 @@ class JsonForwardingReporter : public benchmark::ConsoleReporter {
       } else if (point.ns_per_op > 0) {
         point.ops_per_sec = 1e9 / point.ns_per_op;
       }
-      auto bytes = run.counters.find("bytes_per_second");
-      if (bytes != run.counters.end()) {
-        char extra[64];
-        std::snprintf(extra, sizeof(extra), "\"bytes_per_sec\": %.1f",
-                      bytes->second.value);
-        point.extra = extra;
-      }
+      // Forward selected counters into the JSON row: throughput plus the
+      // data-plane allocation metrics (DESIGN.md §12) that the regression
+      // gate (tools/check_bench_regression.py) reads.
+      auto forward = [&](const char* counter, const char* json_key) {
+        auto it = run.counters.find(counter);
+        if (it == run.counters.end()) {
+          return;
+        }
+        char buf[80];
+        std::snprintf(buf, sizeof(buf), "\"%s\": %.3f", json_key,
+                      it->second.value);
+        if (!point.extra.empty()) {
+          point.extra += ", ";
+        }
+        point.extra += buf;
+      };
+      forward("bytes_per_second", "bytes_per_sec");
+      forward("allocs_per_record", "allocs_per_record");
+      forward("bytes_copied_per_record", "bytes_copied_per_record");
       BenchJson::Instance().Add(point);
     }
     benchmark::ConsoleReporter::ReportRuns(runs);

@@ -104,8 +104,9 @@ int main() {
     auto consumer = engine.NewEgressConsumer("count", sub);
     auto records = (*consumer)->PollAll();
     for (const auto& r : *records) {
-      counts[r.data.key] = std::max(counts[r.data.key],
-                                    std::stol(r.data.value));
+      std::string key(r.data.key);
+      counts[key] = std::max(counts[key],
+                             std::stol(std::string(r.data.value)));
     }
   }
   bool exact = true;

@@ -138,7 +138,8 @@ int main() {
       BinaryReader reader(r.data.value);
       double avg = *reader.ReadDouble();
       double limit = *reader.ReadDouble();
-      std::printf("  %-10s avg=%.1f limit=%.1f\n", r.data.key.c_str(), avg,
+      std::printf("  %-10.*s avg=%.1f limit=%.1f\n",
+                  static_cast<int>(r.data.key.size()), r.data.key.data(), avg,
                   limit);
       alerts++;
     }

@@ -1,0 +1,157 @@
+// Per-epoch bump arena for transient record batches, plus a string pool
+// that recycles std::string capacity across records. Both are owned by the
+// task runtime and reset at marker/commit boundaries, so steady-state record
+// processing between commits performs no heap allocation for record-sized
+// scratch (see DESIGN.md §12 "data-plane memory model").
+#ifndef IMPELLER_SRC_COMMON_ARENA_H_
+#define IMPELLER_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace impeller {
+
+// Chained-block bump allocator. Alloc() hands out raw bytes from the current
+// block; Reset() rewinds to the start while keeping already-grown blocks, so
+// a warmed arena serves an entire epoch without touching the heap. Returned
+// memory is valid until the next Reset(); nothing is individually freed, so
+// only trivially-destructible data may live here.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_bytes = 4096)
+      : min_block_(initial_block_bytes < 64 ? 64 : initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Alloc(size_t n, size_t align = alignof(std::max_align_t)) {
+    size_t off = (used_ + (align - 1)) & ~(align - 1);
+    if (block_ == nullptr || off + n > cap_) {
+      NewBlock(n);
+      off = 0;
+    }
+    used_ = off + n;
+    bytes_used_ += n;
+    return block_ + off;
+  }
+
+  // Copies `s` into the arena; the returned view lives until Reset().
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) {
+      return std::string_view();
+    }
+    char* p = Alloc(s.size(), 1);
+    std::memcpy(p, s.data(), s.size());
+    return std::string_view(p, s.size());
+  }
+
+  // Rewinds to the first block; grown blocks are kept (the largest becomes
+  // the new first block) so capacity is retained across epochs.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      // Keep only the largest block so repeated epochs converge on one
+      // allocation-free block of sufficient size.
+      size_t best = 0;
+      for (size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[best].size) {
+          best = i;
+        }
+      }
+      if (best != 0) {
+        std::swap(blocks_[0], blocks_[best]);
+      }
+      blocks_.resize(1);
+    }
+    if (!blocks_.empty()) {
+      block_ = blocks_[0].data.get();
+      cap_ = blocks_[0].size;
+    }
+    used_ = 0;
+    bytes_used_ = 0;
+  }
+
+  size_t bytes_used() const { return bytes_used_; }
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) {
+      total += b.size;
+    }
+    return total;
+  }
+  size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void NewBlock(size_t at_least) {
+    size_t size = cap_ == 0 ? min_block_ : cap_ * 2;
+    if (size < at_least) {
+      size = at_least;
+    }
+    Block b;
+    b.data = std::make_unique<char[]>(size);
+    b.size = size;
+    block_ = b.data.get();
+    cap_ = size;
+    used_ = 0;
+    blocks_.push_back(std::move(b));
+  }
+
+  size_t min_block_;
+  std::vector<Block> blocks_;
+  char* block_ = nullptr;
+  size_t cap_ = 0;
+  size_t used_ = 0;
+  size_t bytes_used_ = 0;
+};
+
+// Recycles std::string capacity for record key/value scratch. Acquire()
+// returns a cleared string whose capacity survives from earlier use, so
+// assigning record-sized views into it stops allocating once warm. Release()
+// returns the capacity to the pool. Trim() (called at commit boundaries,
+// alongside Arena::Reset) bounds how much idle capacity the pool retains.
+class StringPool {
+ public:
+  explicit StringPool(size_t max_pooled = 64) : max_pooled_(max_pooled) {}
+
+  std::string Acquire() {
+    if (free_.empty()) {
+      return std::string();
+    }
+    std::string s = std::move(free_.back());
+    free_.pop_back();
+    s.clear();
+    return s;
+  }
+
+  void Release(std::string&& s) {
+    if (free_.size() < max_pooled_ && s.capacity() > 0) {
+      free_.push_back(std::move(s));
+    }
+  }
+
+  void Trim(size_t keep) {
+    if (free_.size() > keep) {
+      free_.resize(keep);
+    }
+  }
+
+  size_t pooled() const { return free_.size(); }
+
+ private:
+  size_t max_pooled_;
+  std::vector<std::string> free_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_COMMON_ARENA_H_

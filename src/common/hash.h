@@ -37,6 +37,16 @@ constexpr uint32_t PartitionFor(uint64_t key_hash, uint32_t num_partitions) {
   return static_cast<uint32_t>(MixU64(key_hash) % num_partitions);
 }
 
+// Transparent hasher for heterogeneous lookup in std::string-keyed
+// containers: find(std::string_view) probes without materializing a
+// temporary std::string (hot on the per-read tag-index path).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return static_cast<size_t>(Fnv1a(s));
+  }
+};
+
 }  // namespace impeller
 
 #endif  // IMPELLER_SRC_COMMON_HASH_H_

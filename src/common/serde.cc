@@ -4,10 +4,10 @@ namespace impeller {
 
 void BinaryWriter::WriteVarU64(uint64_t v) {
   while (v >= 0x80) {
-    buffer_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    buf_->push_back(static_cast<char>((v & 0x7F) | 0x80));
     v >>= 7;
   }
-  buffer_.push_back(static_cast<char>(v));
+  buf_->push_back(static_cast<char>(v));
 }
 
 void BinaryWriter::WriteVarI64(int64_t v) {
@@ -25,16 +25,16 @@ void BinaryWriter::WriteDouble(double v) {
   for (int i = 0; i < 8; ++i) {
     raw[i] = static_cast<char>((bits >> (8 * i)) & 0xFF);
   }
-  buffer_.append(raw, 8);
+  buf_->append(raw, 8);
 }
 
 void BinaryWriter::WriteString(std::string_view s) {
   WriteVarU64(s.size());
-  buffer_.append(s.data(), s.size());
+  buf_->append(s.data(), s.size());
 }
 
 void BinaryWriter::WriteBytes(const void* data, size_t size) {
-  buffer_.append(static_cast<const char*>(data), size);
+  buf_->append(static_cast<const char*>(data), size);
 }
 
 Result<uint8_t> BinaryReader::ReadU8() {
@@ -107,6 +107,14 @@ Result<double> BinaryReader::ReadDouble() {
 }
 
 Result<std::string> BinaryReader::ReadString() {
+  auto v = ReadStringView();
+  if (!v.ok()) {
+    return v.status();
+  }
+  return std::string(*v);
+}
+
+Result<std::string_view> BinaryReader::ReadStringView() {
   auto len = ReadVarU64();
   if (!len.ok()) {
     return len.status();
@@ -114,7 +122,7 @@ Result<std::string> BinaryReader::ReadString() {
   if (*len > remaining()) {
     return DataLossError("string length exceeds buffer");
   }
-  std::string out(data_.substr(pos_, *len));
+  std::string_view out = data_.substr(pos_, *len);
   pos_ += *len;
   return out;
 }

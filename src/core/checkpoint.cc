@@ -47,7 +47,7 @@ Result<std::optional<CutInfo>> ExtractCut(const Envelope& env, Lsn lsn,
 Result<ReplayStats> ReplayChangelog(
     SharedLog* log, const std::string& task_id, Lsn from_lsn, Lsn until_lsn,
     uint64_t until_txn_id,
-    const std::function<void(const ChangeLogBody&)>& apply) {
+    const std::function<void(const ChangeLogView&)>& apply) {
   ReplayStats stats;
   stats.next_lsn = from_lsn;
   if (until_lsn == kInvalidLsn) {
@@ -106,7 +106,8 @@ Result<ReplayStats> ReplayChangelog(
         std::vector<Pending> keep;
         for (auto& p : pending) {
           if (p.instance == (*cut)->instance) {
-            apply(p.body);
+            apply(ChangeLogView{p.body.store, p.body.key, p.body.is_delete,
+                                p.body.value});
             stats.changes_applied++;
           } else if (p.instance > (*cut)->instance) {
             keep.push_back(std::move(p));

@@ -68,7 +68,7 @@ struct ReplayStats {
 Result<ReplayStats> ReplayChangelog(
     SharedLog* log, const std::string& task_id, Lsn from_lsn, Lsn until_lsn,
     uint64_t until_txn_id,
-    const std::function<void(const ChangeLogBody&)>& apply);
+    const std::function<void(const ChangeLogView&)>& apply);
 
 // --- snapshot codec: named sections (one per state store + extras) ---
 std::string EncodeSnapshot(const std::map<std::string, std::string>& sections);

@@ -5,12 +5,16 @@
 
 namespace impeller {
 
-void CommitTracker::OnCommitEvent(const std::string& producer,
+void CommitTracker::OnCommitEvent(std::string_view producer,
                                   uint64_t instance, Lsn commit_lsn) {
   // Marks when a consumer learns a producer's cut advanced — the moment
   // buffered kUnknown records become processable (§3.3.3).
   TRACE_INSTANT("protocol", "commit_event");
-  ProducerCut& cut = cuts_[producer];
+  auto it = cuts_.find(producer);
+  if (it == cuts_.end()) {
+    it = cuts_.emplace(std::string(producer), ProducerCut{}).first;
+  }
+  ProducerCut& cut = it->second;
   if (instance < cut.instance) {
     return;  // stale event from a superseded instance
   }
@@ -24,22 +28,22 @@ void CommitTracker::OnCommitEvent(const std::string& producer,
   }
 }
 
-CommitState CommitTracker::Classify(const RecordHeader& header,
-                                    Lsn lsn) const {
-  if (!read_committed_ || header.instance == kIngressInstance) {
+CommitState CommitTracker::Classify(std::string_view producer,
+                                    uint64_t instance, Lsn lsn) const {
+  if (!read_committed_ || instance == kIngressInstance) {
     return CommitState::kCommitted;
   }
-  auto it = cuts_.find(header.producer);
+  auto it = cuts_.find(producer);
   if (it == cuts_.end()) {
     return CommitState::kUnknown;
   }
   const ProducerCut& cut = it->second;
-  if (header.instance < cut.instance) {
+  if (instance < cut.instance) {
     // Output of a superseded instance that was never committed before its
     // successor took over: permanently uncommitted.
     return CommitState::kDiscard;
   }
-  if (header.instance > cut.instance) {
+  if (instance > cut.instance) {
     // A restarted producer's output, not yet covered by any of its markers.
     return CommitState::kUnknown;
   }
@@ -48,21 +52,26 @@ CommitState CommitTracker::Classify(const RecordHeader& header,
 }
 
 bool CommitTracker::IsDuplicate(std::string_view substream_tag,
-                                const RecordHeader& header) {
+                                std::string_view producer, uint64_t instance,
+                                uint64_t seq) {
   // With commit filtering on, instance/range checks already exclude replayed
   // outputs; sequence dedup is still needed for ingress producers (a
   // gateway retry can append the same event twice, §3.5).
-  if (read_committed_ && header.instance != kIngressInstance) {
+  if (read_committed_ && instance != kIngressInstance) {
     return false;
   }
-  std::string key(substream_tag);
-  key += '|';
-  key += header.producer;
-  uint64_t& max_seq = max_seq_[key];
-  if (header.seq <= max_seq) {
+  key_scratch_.assign(substream_tag);
+  key_scratch_ += '|';
+  key_scratch_ += producer;
+  auto it = max_seq_.find(key_scratch_);
+  if (it == max_seq_.end()) {
+    it = max_seq_.emplace(key_scratch_, 0).first;
+  }
+  uint64_t& max_seq = it->second;
+  if (seq <= max_seq) {
     return true;
   }
-  max_seq = header.seq;
+  max_seq = seq;
   return false;
 }
 

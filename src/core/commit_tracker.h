@@ -49,18 +49,27 @@ class CommitTracker {
   // that LSN. Events from older instances than the currently committed one
   // are ignored (a fenced zombie's stale marker cannot regress the cut —
   // though the conditional append already prevents it from being written).
-  void OnCommitEvent(const std::string& producer, uint64_t instance,
+  void OnCommitEvent(std::string_view producer, uint64_t instance,
                      Lsn commit_lsn);
 
-  CommitState Classify(const RecordHeader& header, Lsn lsn) const;
+  CommitState Classify(std::string_view producer, uint64_t instance,
+                       Lsn lsn) const;
+  CommitState Classify(const RecordHeader& header, Lsn lsn) const {
+    return Classify(header.producer, header.instance, lsn);
+  }
 
   // Duplicate suppression: returns true when (substream, producer, seq) was
   // already accepted and the record must be dropped. Keyed per substream
   // because a producer's sequence numbers are only monotone within one
   // substream (its appends fan out across substreams). Call only for
   // records about to be processed.
+  bool IsDuplicate(std::string_view substream_tag, std::string_view producer,
+                   uint64_t instance, uint64_t seq);
   bool IsDuplicate(std::string_view substream_tag,
-                   const RecordHeader& header);
+                   const RecordHeader& header) {
+    return IsDuplicate(substream_tag, header.producer, header.instance,
+                       header.seq);
+  }
 
   // Snapshot/restore of the dedup map (part of aligned-checkpoint state).
   std::string SerializeSeqMap() const;
@@ -75,9 +84,14 @@ class CommitTracker {
   };
 
   bool read_committed_;
-  std::map<std::string, ProducerCut> cuts_;
+  // std::less<> for heterogeneous lookup: the hot path probes with
+  // string_view producers decoded in place from log payloads.
+  std::map<std::string, ProducerCut, std::less<>> cuts_;
   // "(substream tag)|(producer)" -> highest accepted sequence number.
-  std::map<std::string, uint64_t> max_seq_;
+  std::map<std::string, uint64_t, std::less<>> max_seq_;
+  // Reused dedup-key scratch: IsDuplicate builds its composite key here so
+  // steady-state lookups allocate nothing once the capacity is warm.
+  std::string key_scratch_;
 };
 
 }  // namespace impeller

@@ -110,18 +110,16 @@ void IngressProducer::SendDuplicate(std::string key, std::string value,
                                     TimeNs event_time,
                                     uint64_t original_seq) {
   uint32_t sub = HashPartition(key, num_substreams_);
-  DataBody body;
-  body.event_time = event_time != 0 ? event_time : clock_->Now();
-  body.key = std::move(key);
-  body.value = std::move(value);
-  RecordHeader header;
-  header.type = RecordType::kData;
-  header.producer = producer_id_;
-  header.instance = kIngressInstance;
-  header.seq = original_seq;
+  TimeNs stamped = event_time != 0 ? event_time : clock_->Now();
+  // Single-pass encode: header and body go straight into the payload string
+  // instead of materializing DataBody / body-string / envelope copies.
+  BinaryWriter w;
+  AppendEnvelopeHeader(w, RecordType::kData, producer_id_, kIngressInstance,
+                       original_seq);
+  AppendDataBody(w, key, value, stamped);
   AppendRequest req;
   req.tags.push_back(DataTag(stream_, sub));
-  req.payload = EncodeEnvelope(header, EncodeDataBody(body));
+  req.payload = w.Take();
   pending_[sub].push_back(std::move(req));
   ++pending_count_;
 }

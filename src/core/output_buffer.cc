@@ -1,28 +1,80 @@
 #include "src/core/output_buffer.h"
 
+#include <cassert>
+
 namespace impeller {
 
 OutputBuffer::OutputBuffer(SharedLog* log, size_t capacity_bytes,
                            Retrier* retrier)
-    : log_(log), capacity_bytes_(capacity_bytes), retrier_(retrier) {}
+    : log_(log),
+      capacity_bytes_(capacity_bytes),
+      retrier_(retrier),
+      writer_(&buffer_) {}
 
-void OutputBuffer::Add(Kind kind, AppendRequest request) {
-  pending_bytes_ += request.payload.size();
-  pending_.emplace_back(kind, std::move(request));
+BinaryWriter& OutputBuffer::StartRecord(Kind kind, std::string tag) {
+  assert(!record_open_);
+  record_open_ = true;
+  PendingRecord rec;
+  rec.kind = kind;
+  rec.tag = std::move(tag);
+  rec.off = buffer_.size();
+  pending_.push_back(std::move(rec));
+  return writer_;
+}
+
+void OutputBuffer::FinishRecord() {
+  assert(record_open_);
+  record_open_ = false;
+  PendingRecord& rec = pending_.back();
+  rec.len = buffer_.size() - rec.off;
+  pending_bytes_ += rec.len;
+}
+
+void OutputBuffer::Add(Kind kind, AppendRequest&& request) {
+  assert(!record_open_);
+  PendingRecord rec;
+  rec.kind = kind;
+  if (!request.tags.empty()) {
+    rec.tag = std::move(request.tags.front());
+  }
+  rec.prebuilt = std::move(request.payload);
+  rec.is_prebuilt = true;
+  rec.len = rec.prebuilt.size();
+  pending_bytes_ += rec.len;
+  pending_.push_back(std::move(rec));
+}
+
+void OutputBuffer::SealBuffer() {
+  if (buffer_.empty()) {
+    return;
+  }
+  auto sealed = std::make_shared<const std::string>(std::move(buffer_));
+  buffer_.clear();
+  for (PendingRecord& rec : pending_) {
+    if (!rec.is_prebuilt && rec.sealed == nullptr) {
+      rec.sealed = sealed;
+    }
+  }
 }
 
 Result<OutputBuffer::FlushResult> OutputBuffer::Flush() {
+  assert(!record_open_);
   FlushResult result;
   if (pending_.empty()) {
     return result;
   }
+  // Seal the epoch's contiguous buffer: one shared allocation now backs
+  // every record encoded since the last flush (records surviving a failed
+  // flush keep their earlier sealed buffers).
+  SealBuffer();
   std::vector<AppendRequest> batch;
   batch.reserve(pending_.size());
-  for (auto& [kind, req] : pending_) {
+  for (PendingRecord& rec : pending_) {
+    AppendRequest req;
+    req.tags.push_back(std::move(rec.tag));
+    req.payload = rec.Ref();
     batch.push_back(std::move(req));
   }
-  // AppendBatch consumes the requests only on success, so retrying (or
-  // restoring the buffer on failure) needs no copies.
   auto lsns = retrier_ != nullptr
                   ? retrier_->Run("output_flush",
                                   [&] { return log_->AppendBatch(batch); })
@@ -35,16 +87,20 @@ Result<OutputBuffer::FlushResult> OutputBuffer::Flush() {
       pending_bytes_ = 0;
     } else {
       // Transient failure (retries exhausted): keep the records buffered so
-      // a later Flush re-issues the identical batch.
+      // a later Flush re-issues the identical batch. The payload bytes stay
+      // pinned by the sealed shared buffers; only the routing tags need to
+      // move back.
       for (size_t i = 0; i < pending_.size(); ++i) {
-        pending_[i].second = std::move(batch[i]);
+        if (!batch[i].tags.empty()) {
+          pending_[i].tag = std::move(batch[i].tags.front());
+        }
       }
     }
     return lsns.status();
   }
   for (size_t i = 0; i < pending_.size(); ++i) {
     Lsn lsn = (*lsns)[i];
-    if (pending_[i].first == Kind::kOutput) {
+    if (pending_[i].kind == Kind::kOutput) {
       if (result.first_output == kInvalidLsn) {
         result.first_output = lsn;
       }

@@ -3,13 +3,22 @@
 // append — the 128 KiB output buffer of paper §5.3. The buffer reports the
 // first output / change-log LSN of each flush so the task can build the
 // epoch ranges recorded in its progress markers.
+//
+// Zero-copy path: records are encoded directly into one contiguous flush
+// buffer via StartRecord()/FinishRecord() — no per-record payload strings.
+// At Flush() the buffer is sealed into a refcounted immutable string shared
+// by every record's PayloadRef slice, so the log stores views into a single
+// allocation per flush.
 #ifndef IMPELLER_SRC_CORE_OUTPUT_BUFFER_H_
 #define IMPELLER_SRC_CORE_OUTPUT_BUFFER_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/retry.h"
+#include "src/common/serde.h"
 #include "src/common/status.h"
 #include "src/sharedlog/shared_log.h"
 
@@ -25,9 +34,19 @@ class OutputBuffer {
 
   enum class Kind { kOutput, kChangeLog };
 
-  void Add(Kind kind, AppendRequest request);
+  // Opens a record destined for `tag` and returns a writer positioned at the
+  // tail of the contiguous flush buffer; the caller encodes the full payload
+  // (envelope header + body) through it and then calls FinishRecord(). No
+  // other OutputBuffer method may run between the two calls.
+  BinaryWriter& StartRecord(Kind kind, std::string tag);
+  void FinishRecord();
+
+  // Compatibility path for prebuilt payloads; the request's payload bytes
+  // are not copied (PayloadRef move).
+  void Add(Kind kind, AppendRequest&& request);
 
   bool NeedsFlush() const { return pending_bytes_ >= capacity_bytes_; }
+  // Full framed payload bytes (envelope header + body), not just body size.
   size_t pending_bytes() const { return pending_bytes_; }
   size_t pending_records() const { return pending_.size(); }
   bool empty() const { return pending_.empty(); }
@@ -45,10 +64,34 @@ class OutputBuffer {
   Result<FlushResult> Flush();
 
  private:
+  struct PendingRecord {
+    Kind kind;
+    std::string tag;
+    // Records encoded in place are [off, off+len) of buffer_ until the epoch
+    // is sealed, after which `sealed` pins the shared bytes. Prebuilt
+    // records carry their own PayloadRef instead.
+    std::shared_ptr<const std::string> sealed;
+    size_t off = 0;
+    size_t len = 0;
+    PayloadRef prebuilt;
+    bool is_prebuilt = false;
+
+    PayloadRef Ref() const {
+      return is_prebuilt ? prebuilt : PayloadRef(sealed, off, len);
+    }
+  };
+
+  // Moves buffer_ into a shared immutable string and pins it onto every
+  // pending record still pointing into it.
+  void SealBuffer();
+
   SharedLog* log_;
   size_t capacity_bytes_;
   Retrier* retrier_;
-  std::vector<std::pair<Kind, AppendRequest>> pending_;
+  std::vector<PendingRecord> pending_;
+  std::string buffer_;    // contiguous encode buffer for the current epoch
+  BinaryWriter writer_;   // append-mode writer bound to buffer_
+  bool record_open_ = false;
   size_t pending_bytes_ = 0;
 };
 

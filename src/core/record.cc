@@ -15,6 +15,17 @@ std::string EncodeEnvelope(const RecordHeader& header, std::string_view body) {
 }
 
 Result<Envelope> DecodeEnvelope(std::string_view payload) {
+  auto view = DecodeEnvelopeView(payload);
+  if (!view.ok()) {
+    return view.status();
+  }
+  Envelope env;
+  env.header = view->ToOwnedHeader();
+  env.body = std::string(view->body);
+  return env;
+}
+
+Result<EnvelopeView> DecodeEnvelopeView(std::string_view payload) {
   BinaryReader r(payload);
   auto type = r.ReadU8();
   if (!type.ok()) {
@@ -24,24 +35,24 @@ Result<Envelope> DecodeEnvelope(std::string_view payload) {
       *type > static_cast<uint8_t>(RecordType::kBarrier)) {
     return DataLossError("unknown record type " + std::to_string(*type));
   }
-  Envelope env;
-  env.header.type = static_cast<RecordType>(*type);
-  auto producer = r.ReadString();
+  EnvelopeView env;
+  env.type = static_cast<RecordType>(*type);
+  auto producer = r.ReadStringView();
   if (!producer.ok()) {
     return producer.status();
   }
-  env.header.producer = std::move(*producer);
+  env.producer = *producer;
   auto instance = r.ReadVarU64();
   if (!instance.ok()) {
     return instance.status();
   }
-  env.header.instance = *instance;
+  env.instance = *instance;
   auto seq = r.ReadVarU64();
   if (!seq.ok()) {
     return seq.status();
   }
-  env.header.seq = *seq;
-  env.body = std::string(payload.substr(payload.size() - r.remaining()));
+  env.seq = *seq;
+  env.body = r.rest();
   return env;
 }
 
@@ -54,18 +65,30 @@ std::string EncodeDataBody(const DataBody& body) {
 }
 
 Result<DataBody> DecodeDataBody(std::string_view raw) {
-  BinaryReader r(raw);
+  auto view = DecodeDataView(raw);
+  if (!view.ok()) {
+    return view.status();
+  }
   DataBody body;
-  auto key = r.ReadString();
+  body.key = std::string(view->key);
+  body.value = std::string(view->value);
+  body.event_time = view->event_time;
+  return body;
+}
+
+Result<DataView> DecodeDataView(std::string_view raw) {
+  BinaryReader r(raw);
+  DataView body;
+  auto key = r.ReadStringView();
   if (!key.ok()) {
     return key.status();
   }
-  body.key = std::move(*key);
-  auto value = r.ReadString();
+  body.key = *key;
+  auto value = r.ReadStringView();
   if (!value.ok()) {
     return value.status();
   }
-  body.value = std::move(*value);
+  body.value = *value;
   auto et = r.ReadVarI64();
   if (!et.ok()) {
     return et.status();
@@ -86,31 +109,69 @@ std::string EncodeChangeLogBody(const ChangeLogBody& body) {
 }
 
 Result<ChangeLogBody> DecodeChangeLogBody(std::string_view raw) {
-  BinaryReader r(raw);
+  auto view = DecodeChangeLogView(raw);
+  if (!view.ok()) {
+    return view.status();
+  }
   ChangeLogBody body;
-  auto store = r.ReadString();
+  body.store = std::string(view->store);
+  body.key = std::string(view->key);
+  body.is_delete = view->is_delete;
+  body.value = std::string(view->value);
+  return body;
+}
+
+Result<ChangeLogView> DecodeChangeLogView(std::string_view raw) {
+  BinaryReader r(raw);
+  ChangeLogView body;
+  auto store = r.ReadStringView();
   if (!store.ok()) {
     return store.status();
   }
-  body.store = std::move(*store);
-  auto key = r.ReadString();
+  body.store = *store;
+  auto key = r.ReadStringView();
   if (!key.ok()) {
     return key.status();
   }
-  body.key = std::move(*key);
+  body.key = *key;
   auto is_delete = r.ReadBool();
   if (!is_delete.ok()) {
     return is_delete.status();
   }
   body.is_delete = *is_delete;
   if (!body.is_delete) {
-    auto value = r.ReadString();
+    auto value = r.ReadStringView();
     if (!value.ok()) {
       return value.status();
     }
-    body.value = std::move(*value);
+    body.value = *value;
   }
   return body;
+}
+
+void AppendEnvelopeHeader(BinaryWriter& w, RecordType type,
+                          std::string_view producer, uint64_t instance,
+                          uint64_t seq) {
+  w.WriteU8(static_cast<uint8_t>(type));
+  w.WriteString(producer);
+  w.WriteVarU64(instance);
+  w.WriteVarU64(seq);
+}
+
+void AppendDataBody(BinaryWriter& w, std::string_view key,
+                    std::string_view value, TimeNs event_time) {
+  w.WriteString(key);
+  w.WriteString(value);
+  w.WriteVarI64(event_time);
+}
+
+void AppendChangeLogBody(BinaryWriter& w, const ChangeLogView& body) {
+  w.WriteString(body.store);
+  w.WriteString(body.key);
+  w.WriteBool(body.is_delete);
+  if (!body.is_delete) {
+    w.WriteString(body.value);
+  }
 }
 
 }  // namespace impeller

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "src/common/clock.h"
+#include "src/common/serde.h"
 #include "src/common/status.h"
 
 namespace impeller {
@@ -39,6 +40,59 @@ struct Envelope {
 
 std::string EncodeEnvelope(const RecordHeader& header, std::string_view body);
 Result<Envelope> DecodeEnvelope(std::string_view payload);
+
+// --- Zero-copy views ---
+// View counterparts of the owning structs above. They decode in place over a
+// std::string_view with identical bounds checks and kDataLoss semantics, and
+// their string fields alias the decoded payload: a view is valid only while
+// the buffer it was decoded from is alive (in practice, while the PayloadRef
+// that carried the payload is held). Owning structs remain for the cold
+// boundaries — checkpoints, replay, tests, and JSON-facing tooling.
+
+struct EnvelopeView {
+  RecordType type = RecordType::kData;
+  std::string_view producer;
+  uint64_t instance = 0;
+  uint64_t seq = 0;
+  std::string_view body;
+
+  RecordHeader ToOwnedHeader() const {
+    return RecordHeader{type, std::string(producer), instance, seq};
+  }
+};
+
+Result<EnvelopeView> DecodeEnvelopeView(std::string_view payload);
+
+struct DataView {
+  std::string_view key;
+  std::string_view value;
+  TimeNs event_time = 0;
+};
+
+Result<DataView> DecodeDataView(std::string_view raw);
+
+struct ChangeLogView {
+  std::string_view store;
+  std::string_view key;
+  bool is_delete = false;
+  std::string_view value;  // empty when is_delete
+};
+
+Result<ChangeLogView> DecodeChangeLogView(std::string_view raw);
+
+// --- Append-mode encoders ---
+// Encode directly through a BinaryWriter (typically bound to a contiguous
+// flush buffer) instead of materializing per-record strings. Byte-for-byte
+// identical to the owning encoders above; codec tests enforce equivalence.
+
+// Writes the envelope header; the caller appends the body bytes through the
+// same writer (e.g. via AppendDataBody below).
+void AppendEnvelopeHeader(BinaryWriter& w, RecordType type,
+                          std::string_view producer, uint64_t instance,
+                          uint64_t seq);
+void AppendDataBody(BinaryWriter& w, std::string_view key,
+                    std::string_view value, TimeNs event_time);
+void AppendChangeLogBody(BinaryWriter& w, const ChangeLogView& body);
 
 // --- Data record body ---
 struct DataBody {

@@ -8,11 +8,20 @@ MapStateStore::MapStateStore(std::string name, ChangeSink sink)
     : name_(std::move(name)), sink_(std::move(sink)) {}
 
 std::optional<std::string> MapStateStore::Get(std::string_view key) const {
-  auto it = data_.find(std::string(key));
+  auto it = data_.find(key);
   if (it == data_.end()) {
     return std::nullopt;
   }
   return it->second;
+}
+
+std::optional<std::string_view> MapStateStore::GetView(
+    std::string_view key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return std::nullopt;
+  }
+  return std::string_view(it->second);
 }
 
 void MapStateStore::Put(std::string_view key, std::string_view value) {
@@ -25,27 +34,19 @@ void MapStateStore::Put(std::string_view key, std::string_view value) {
     bytes_ += value.size();
   }
   if (sink_) {
-    ChangeLogBody change;
-    change.store = name_;
-    change.key = std::string(key);
-    change.value = std::string(value);
-    sink_(change);
+    sink_(ChangeLogView{name_, key, /*is_delete=*/false, value});
   }
 }
 
 void MapStateStore::Delete(std::string_view key) {
-  auto it = data_.find(std::string(key));
+  auto it = data_.find(key);
   if (it == data_.end()) {
     return;
   }
   bytes_ -= std::min(bytes_, it->first.size() + it->second.size());
   data_.erase(it);
   if (sink_) {
-    ChangeLogBody change;
-    change.store = name_;
-    change.key = std::string(key);
-    change.is_delete = true;
-    sink_(change);
+    sink_(ChangeLogView{name_, key, /*is_delete=*/true, {}});
   }
 }
 
@@ -53,7 +54,7 @@ void MapStateStore::ScanPrefix(
     std::string_view prefix,
     const std::function<bool(std::string_view, std::string_view)>& visit)
     const {
-  for (auto it = data_.lower_bound(std::string(prefix)); it != data_.end();
+  for (auto it = data_.lower_bound(prefix); it != data_.end();
        ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) {
       break;
@@ -68,8 +69,8 @@ void MapStateStore::ScanRange(
     std::string_view from, std::string_view to,
     const std::function<bool(std::string_view, std::string_view)>& visit)
     const {
-  auto it = data_.lower_bound(std::string(from));
-  auto end = data_.lower_bound(std::string(to));
+  auto it = data_.lower_bound(from);
+  auto end = data_.lower_bound(to);
   for (; it != end; ++it) {
     if (!visit(it->first, it->second)) {
       break;
@@ -88,7 +89,7 @@ void MapStateStore::DeleteRange(std::string_view from, std::string_view to) {
   }
 }
 
-void MapStateStore::ApplyChange(const ChangeLogBody& change) {
+void MapStateStore::ApplyChange(const ChangeLogView& change) {
   if (change.is_delete) {
     auto it = data_.find(change.key);
     if (it != data_.end()) {
@@ -97,7 +98,8 @@ void MapStateStore::ApplyChange(const ChangeLogBody& change) {
     }
     return;
   }
-  auto [it, inserted] = data_.insert_or_assign(change.key, change.value);
+  auto [it, inserted] = data_.insert_or_assign(std::string(change.key),
+                                               std::string(change.value));
   if (inserted) {
     bytes_ += change.key.size() + change.value.size();
   } else {

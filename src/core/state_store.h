@@ -22,8 +22,9 @@
 namespace impeller {
 
 // Receives every mutation for change-log appends. Null = capture disabled
-// (replay, unsafe mode).
-using ChangeSink = std::function<void(const ChangeLogBody&)>;
+// (replay, unsafe mode). The view's fields alias the caller's key/value and
+// the store's name; the sink must encode (or copy) before returning.
+using ChangeSink = std::function<void(const ChangeLogView&)>;
 
 class MapStateStore {
  public:
@@ -32,6 +33,9 @@ class MapStateStore {
   const std::string& name() const { return name_; }
 
   std::optional<std::string> Get(std::string_view key) const;
+  // Zero-copy lookup: the returned view aliases the stored value and is
+  // valid until the next mutation of this store.
+  std::optional<std::string_view> GetView(std::string_view key) const;
   void Put(std::string_view key, std::string_view value);
   void Delete(std::string_view key);
 
@@ -55,7 +59,11 @@ class MapStateStore {
   size_t SizeBytes() const { return bytes_; }
 
   // --- recovery / checkpointing (no change capture) ---
-  void ApplyChange(const ChangeLogBody& change);
+  void ApplyChange(const ChangeLogView& change);
+  void ApplyChange(const ChangeLogBody& change) {
+    ApplyChange(ChangeLogView{change.store, change.key, change.is_delete,
+                              change.value});
+  }
   std::string SerializeSnapshot() const;
   Status RestoreSnapshot(std::string_view raw);
   void Clear();
@@ -63,7 +71,9 @@ class MapStateStore {
  private:
   std::string name_;
   ChangeSink sink_;
-  std::map<std::string, std::string> data_;
+  // std::less<> enables heterogeneous lookup: string_view keys probe the
+  // map without materializing temporary std::strings.
+  std::map<std::string, std::string, std::less<>> data_;
   size_t bytes_ = 0;
 };
 

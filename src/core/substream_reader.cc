@@ -26,31 +26,35 @@ void SubstreamReader::Restore(Lsn next_lsn, Lsn floor) {
 void SubstreamReader::Drain(std::vector<ReadyRecord>* out) {
   while (!buffer_.empty()) {
     BufferedEntry& head = buffer_.front();
-    CommitState state = tracker_->Classify(head.header, head.lsn);
+    CommitState state = tracker_->Classify(
+        head.header.producer, head.header.instance, head.lsn);
     if (state == CommitState::kUnknown) {
       return;  // wait for a later commit event (paper §3.3.3, case 3)
     }
     committed_floor_ = head.lsn;
     if (state == CommitState::kCommitted &&
-        !tracker_->IsDuplicate(tag_, head.header)) {
+        !tracker_->IsDuplicate(tag_, head.header.producer,
+                               head.header.instance, head.header.seq)) {
       ReadyRecord ready;
       ready.input = input_index_;
       ready.lsn = head.lsn;
-      ready.header = std::move(head.header);
-      ready.data = std::move(head.data);
+      // The views stay valid across the move: they point into the shared
+      // buffer the PayloadRef pins, not into the BufferedEntry itself.
+      ready.payload = std::move(head.payload);
+      ready.header = head.header;
+      ready.data = head.data;
       out->push_back(std::move(ready));
     }
     buffer_.pop_front();
   }
 }
 
-void SubstreamReader::HandleEntry(const LogEntry& entry, Envelope env,
+void SubstreamReader::HandleEntry(LogEntry entry, const EnvelopeView& env,
                                   std::vector<ReadyRecord>* out,
                                   const Hooks& hooks) {
-  switch (env.header.type) {
+  switch (env.type) {
     case RecordType::kProgressMarker: {
-      tracker_->OnCommitEvent(env.header.producer, env.header.instance,
-                              entry.lsn);
+      tracker_->OnCommitEvent(env.producer, env.instance, entry.lsn);
       if (buffer_.empty()) {
         committed_floor_ = entry.lsn;
       }
@@ -60,8 +64,7 @@ void SubstreamReader::HandleEntry(const LogEntry& entry, Envelope env,
     case RecordType::kTxnControl: {
       auto body = DecodeTxnControlBody(env.body);
       if (body.ok() && body->kind == TxnControlKind::kCommit) {
-        tracker_->OnCommitEvent(env.header.producer, env.header.instance,
-                                entry.lsn);
+        tracker_->OnCommitEvent(env.producer, env.instance, entry.lsn);
         Drain(out);
       }
       if (buffer_.empty()) {
@@ -72,7 +75,7 @@ void SubstreamReader::HandleEntry(const LogEntry& entry, Envelope env,
     case RecordType::kBarrier: {
       auto body = DecodeBarrierBody(env.body);
       if (body.ok() && hooks.on_barrier) {
-        hooks.on_barrier(input_index_, env.header, *body, entry.lsn);
+        hooks.on_barrier(input_index_, env, *body, entry.lsn);
       }
       if (buffer_.empty()) {
         committed_floor_ = entry.lsn;
@@ -80,7 +83,7 @@ void SubstreamReader::HandleEntry(const LogEntry& entry, Envelope env,
       return;
     }
     case RecordType::kData: {
-      auto data = DecodeDataBody(env.body);
+      auto data = DecodeDataView(env.body);
       if (!data.ok()) {
         LOG_ERROR << "corrupt data record at lsn " << entry.lsn << " on "
                   << tag_ << ": " << data.status().ToString();
@@ -88,22 +91,24 @@ void SubstreamReader::HandleEntry(const LogEntry& entry, Envelope env,
       }
       if (!buffer_.empty()) {
         // Preserve substream FIFO order behind an unknown head.
-        buffer_.push_back({entry.lsn, env.header, std::move(*data)});
+        buffer_.push_back({entry.lsn, std::move(entry.payload), env, *data});
         return;
       }
-      CommitState state = tracker_->Classify(env.header, entry.lsn);
+      CommitState state =
+          tracker_->Classify(env.producer, env.instance, entry.lsn);
       if (state == CommitState::kUnknown) {
-        buffer_.push_back({entry.lsn, env.header, std::move(*data)});
+        buffer_.push_back({entry.lsn, std::move(entry.payload), env, *data});
         return;
       }
       committed_floor_ = entry.lsn;
       if (state == CommitState::kCommitted &&
-          !tracker_->IsDuplicate(tag_, env.header)) {
+          !tracker_->IsDuplicate(tag_, env.producer, env.instance, env.seq)) {
         ReadyRecord ready;
         ready.input = input_index_;
         ready.lsn = entry.lsn;
-        ready.header = std::move(env.header);
-        ready.data = std::move(*data);
+        ready.payload = std::move(entry.payload);
+        ready.header = env;
+        ready.data = *data;
         out->push_back(std::move(ready));
       }
       return;
@@ -138,12 +143,14 @@ Result<size_t> SubstreamReader::Poll(size_t max_new,
     }
     next_lsn_ = entry->lsn + 1;
     ++consumed;
-    auto env = DecodeEnvelope(entry->payload);
+    // Decode in place over the refcounted log payload: no byte copies on
+    // the hot path, only a refcount bump when the record is kept.
+    auto env = DecodeEnvelopeView(entry->payload.view());
     if (!env.ok()) {
       LOG_ERROR << "corrupt envelope at lsn " << entry->lsn << " on " << tag_;
       continue;
     }
-    HandleEntry(*entry, std::move(*env), out, hooks);
+    HandleEntry(std::move(*entry), *env, out, hooks);
   }
   return consumed;
 }

@@ -7,12 +7,18 @@
 // record) resolves it. Control records — markers, txn controls, checkpoint
 // barriers — take effect immediately upon being read, since they are what
 // move classification forward.
+//
+// Zero-copy: a record handed out (or buffered behind an unknown head) keeps
+// the refcounted log payload (PayloadRef) and decodes header/body fields as
+// in-place views over it — no per-record field strings. The views stay valid
+// for as long as the ReadyRecord/BufferedEntry holding the PayloadRef lives.
 #ifndef IMPELLER_SRC_CORE_SUBSTREAM_READER_H_
 #define IMPELLER_SRC_CORE_SUBSTREAM_READER_H_
 
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/commit_tracker.h"
@@ -24,19 +30,22 @@
 namespace impeller {
 
 // A committed, deduplicated data record ready for operator processing.
+// `header`/`data` fields are views into `payload`'s shared buffer.
 struct ReadyRecord {
   uint32_t input = 0;
   Lsn lsn = kInvalidLsn;
-  RecordHeader header;
-  DataBody data;
+  PayloadRef payload;
+  EnvelopeView header;
+  DataView data;
 };
 
 class SubstreamReader {
  public:
   struct Hooks {
     // Aligned-checkpoint barrier observed at `lsn` (already in substream
-    // order relative to the producer's data records).
-    std::function<void(uint32_t input, const RecordHeader&,
+    // order relative to the producer's data records). The envelope view is
+    // only valid for the duration of the callback.
+    std::function<void(uint32_t input, const EnvelopeView&,
                        const BarrierBody&, Lsn lsn)>
         on_barrier;
   };
@@ -73,13 +82,14 @@ class SubstreamReader {
  private:
   struct BufferedEntry {
     Lsn lsn;
-    RecordHeader header;
-    DataBody data;
+    PayloadRef payload;  // pins the views below
+    EnvelopeView header;
+    DataView data;
   };
 
   // Classifies and pops buffered records from the head.
   void Drain(std::vector<ReadyRecord>* out);
-  void HandleEntry(const LogEntry& entry, Envelope env,
+  void HandleEntry(LogEntry entry, const EnvelopeView& env,
                    std::vector<ReadyRecord>* out, const Hooks& hooks);
 
   SharedLog* log_;

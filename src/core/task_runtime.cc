@@ -7,6 +7,7 @@
 #include "src/common/serde.h"
 #include "src/core/stream.h"
 #include "src/fault/fault.h"
+#include "src/obs/alloc_stats.h"
 #include "src/obs/trace.h"
 #include "src/protocols/barrier_coordinator.h"
 #include "src/protocols/txn_coordinator.h"
@@ -66,6 +67,7 @@ TaskRuntime::TaskRuntime(TaskWiring wiring)
                      &retrier_) {
   uses_markers_ = tracker_.read_committed();
   capture_changes_ = uses_markers_ && wiring_.stage->stateful;
+  changelog_tag_ = ChangeLogTag(task_id_);
 }
 
 TaskRuntime::~TaskRuntime() = default;
@@ -80,25 +82,25 @@ MapStateStore* TaskRuntime::GetStore(std::string_view name) {
   if (slot == nullptr) {
     ChangeSink sink;
     if (capture_changes_) {
-      sink = [this](const ChangeLogBody& change) { OnStateChange(change); };
+      sink = [this](const ChangeLogView& change) { OnStateChange(change); };
     }
     slot = std::make_unique<MapStateStore>(std::string(name), std::move(sink));
   }
   return slot.get();
 }
 
-void TaskRuntime::OnStateChange(const ChangeLogBody& change) {
-  RecordHeader header;
-  header.type = RecordType::kChangeLog;
-  header.producer = task_id_;
-  header.instance = wiring_.instance;
-  header.seq = ++out_seq_;
-  AppendRequest req;
-  req.tags.push_back(ChangeLogTag(task_id_));
-  req.payload = EncodeEnvelope(header, EncodeChangeLogBody(change));
-  epoch_touched_tags_.insert(req.tags[0]);
+void TaskRuntime::OnStateChange(const ChangeLogView& change) {
+  // Encoded straight into the output buffer's contiguous flush buffer: no
+  // intermediate body / envelope / payload strings.
+  BinaryWriter& w =
+      output_buffer_.StartRecord(OutputBuffer::Kind::kChangeLog,
+                                 changelog_tag_);
+  AppendEnvelopeHeader(w, RecordType::kChangeLog, task_id_, wiring_.instance,
+                       ++out_seq_);
+  AppendChangeLogBody(w, change);
+  output_buffer_.FinishRecord();
+  epoch_touched_tags_.insert(changelog_tag_);
   epoch_dirty_ = true;
-  output_buffer_.Add(OutputBuffer::Kind::kChangeLog, std::move(req));
 }
 
 void TaskRuntime::EmitOutput(uint32_t output, StreamRecord record) {
@@ -107,30 +109,29 @@ void TaskRuntime::EmitOutput(uint32_t output, StreamRecord record) {
     return;
   }
   const OutputSpec& spec = wiring_.stage->outputs[output];
-  const StreamSpec& stream = wiring_.plan->streams.at(spec.stream);
+  // Routing tags were precomputed at recovery; their count is the stream's
+  // substream count, so no per-record plan lookups or tag building here.
+  const std::vector<std::string>& tags = output_tags_[output];
+  const uint32_t num_substreams = static_cast<uint32_t>(tags.size());
   uint32_t sub;
   if (output_is_egress_[output]) {
     sub = wiring_.index;  // egress: one substream per sinking task
   } else if (spec.partitioner) {
-    sub = spec.partitioner(record.key, stream.num_substreams);
+    sub = spec.partitioner(record.key, num_substreams);
   } else {
-    sub = HashPartition(record.key, stream.num_substreams);
+    sub = HashPartition(record.key, num_substreams);
   }
-  DataBody body;
-  body.key = std::move(record.key);
-  body.value = std::move(record.value);
-  body.event_time = record.event_time;
-  RecordHeader header;
-  header.type = RecordType::kData;
-  header.producer = task_id_;
-  header.instance = wiring_.instance;
-  header.seq = ++out_seq_;
-  AppendRequest req;
-  req.tags.push_back(DataTag(spec.stream, sub));
-  req.payload = EncodeEnvelope(header, EncodeDataBody(body));
-  epoch_touched_tags_.insert(req.tags[0]);
+  BinaryWriter& w =
+      output_buffer_.StartRecord(OutputBuffer::Kind::kOutput, tags[sub]);
+  AppendEnvelopeHeader(w, RecordType::kData, task_id_, wiring_.instance,
+                       ++out_seq_);
+  AppendDataBody(w, record.key, record.value, record.event_time);
+  output_buffer_.FinishRecord();
+  epoch_touched_tags_.insert(tags[sub]);
   epoch_dirty_ = true;
-  output_buffer_.Add(OutputBuffer::Kind::kOutput, std::move(req));
+  // Recycle the record's string capacity for the next input record.
+  record_pool_.Release(std::move(record.key));
+  record_pool_.Release(std::move(record.value));
 }
 
 std::vector<std::pair<std::string, Lsn>> TaskRuntime::CurrentInputEnds()
@@ -208,9 +209,16 @@ Status TaskRuntime::Recover() {
     }
   }
   output_is_egress_.reserve(wiring_.stage->outputs.size());
+  output_tags_.reserve(wiring_.stage->outputs.size());
   for (const OutputSpec& out : wiring_.stage->outputs) {
-    output_is_egress_.push_back(
-        wiring_.plan->streams.at(out.stream).egress);
+    const StreamSpec& stream = wiring_.plan->streams.at(out.stream);
+    output_is_egress_.push_back(stream.egress);
+    std::vector<std::string> tags;
+    tags.reserve(stream.num_substreams);
+    for (uint32_t sub = 0; sub < stream.num_substreams; ++sub) {
+      tags.push_back(DataTag(out.stream, sub));
+    }
+    output_tags_.push_back(std::move(tags));
   }
   reader_hooks_.on_barrier = nullptr;  // barriers handled via pending queue
 
@@ -326,7 +334,7 @@ Status TaskRuntime::RecoverFromMarker() {
   if (replay_from <= info.lsn) {
     auto stats = ReplayChangelog(
         wiring_.log, task_id_, replay_from, info.lsn, info.txn_id,
-        [this](const ChangeLogBody& change) {
+        [this](const ChangeLogView& change) {
           GetStore(change.store)->ApplyChange(change);
         });
     if (!stats.ok()) {
@@ -408,10 +416,11 @@ Result<size_t> TaskRuntime::PollInputs() {
     pending_barriers_.clear();
     if (wiring_.config.protocol == ProtocolKind::kAlignedCheckpoint) {
       reader_hooks_.on_barrier = [this, slot](uint32_t,
-                                              const RecordHeader& h,
+                                              const EnvelopeView& h,
                                               const BarrierBody& b, Lsn lsn) {
-        pending_barriers_.push_back(
-            {ready_scratch_.size(), slot, h.producer, b.checkpoint_id, lsn});
+        pending_barriers_.push_back({ready_scratch_.size(), slot,
+                                     std::string(h.producer), b.checkpoint_id,
+                                     lsn});
       };
     }
     auto n = reader.Poll(wiring_.config.max_records_per_poll,
@@ -444,10 +453,16 @@ void TaskRuntime::ProcessReady(size_t slot, ReadyRecord record) {
     sidelined_.emplace_back(slot, std::move(record));
     return;
   }
+  // Materialize owning strings for the operator chain from the in-place
+  // views, reusing pooled capacity so the steady state allocates nothing.
+  // This is the one remaining payload copy on the read path; account it.
   StreamRecord rec;
-  rec.key = std::move(record.data.key);
-  rec.value = std::move(record.data.value);
+  rec.key = record_pool_.Acquire();
+  rec.key.assign(record.data.key.data(), record.data.key.size());
+  rec.value = record_pool_.Acquire();
+  rec.value.assign(record.data.value.data(), record.data.value.size());
   rec.event_time = record.data.event_time;
+  obs::RecordBytesCopied(rec.key.size() + rec.value.size());
   max_event_time_ = std::max(max_event_time_, rec.event_time);
   records_processed_.fetch_add(1, std::memory_order_relaxed);
   epoch_dirty_ = true;
@@ -604,6 +619,7 @@ Status TaskRuntime::CommitProgressMarking() {
   epoch_first_changelog_ = kInvalidLsn;
   epoch_dirty_ = false;
   epoch_touched_tags_.clear();
+  ResetEpochScratch();
   if (wiring_.gc != nullptr) {
     wiring_.gc->PublishFloor(task_id_ + "/marker", marker_lsn);
   }
@@ -649,16 +665,18 @@ Status TaskRuntime::CommitKafkaTxn() {
   epoch_first_changelog_ = kInvalidLsn;
   epoch_dirty_ = false;
   epoch_touched_tags_.clear();
+  ResetEpochScratch();
   PublishGcFloors();
   return OkStatus();
 }
 
 // --- Aligned checkpointing ---
 
-bool TaskRuntime::IsBlocked(size_t slot,
-                            const std::string& producer) const {
+bool TaskRuntime::IsBlocked(size_t slot, std::string_view producer) const {
+  // Only reached while an alignment is in progress, so materializing the
+  // producer key here is off the steady-state path.
   return blocked_channels_.count({slot, "*"}) != 0 ||
-         blocked_channels_.count({slot, producer}) != 0;
+         blocked_channels_.count({slot, std::string(producer)}) != 0;
 }
 
 void TaskRuntime::OnBarrier(size_t slot, const std::string& producer,
@@ -798,6 +816,7 @@ Status TaskRuntime::CompleteAlignment() {
   for (auto& [slot, record] : pending) {
     ProcessReady(slot, std::move(record));
   }
+  ResetEpochScratch();
   return OkStatus();
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/retry.h"
 #include "src/core/checkpoint.h"
 #include "src/core/commit_tracker.h"
@@ -135,7 +136,7 @@ class TaskRuntime final : public OperatorContext {
 
   // Stage-output routing: called by the terminal collector.
   void EmitOutput(uint32_t output, StreamRecord record);
-  void OnStateChange(const ChangeLogBody& change);
+  void OnStateChange(const ChangeLogView& change);
 
   Status MaybeFlush(bool force);
   Status ApplyFlushResult(const OutputBuffer::FlushResult& result);
@@ -160,7 +161,7 @@ class TaskRuntime final : public OperatorContext {
   void OnBarrier(size_t slot, const std::string& producer,
                  uint64_t checkpoint_id, Lsn lsn);
   Status CompleteAlignment();
-  bool IsBlocked(size_t slot, const std::string& producer) const;
+  bool IsBlocked(size_t slot, std::string_view producer) const;
 
   void RunTimers(TimeNs now);
   void PublishGcFloors();
@@ -226,6 +227,23 @@ class TaskRuntime final : public OperatorContext {
   uint64_t out_seq_ = 0;
   uint64_t marker_seq_ = 1;
   TimeNs max_event_time_ = 0;
+
+  // Zero-copy data plane (DESIGN.md §12). Per-(output, substream) routing
+  // tags precomputed at recovery so the steady-state emit path never builds
+  // tag strings; the changelog tag likewise. The arena and string pool hold
+  // per-epoch transient record scratch and are reset at marker/commit
+  // boundaries.
+  std::vector<std::vector<std::string>> output_tags_;
+  std::string changelog_tag_;
+  Arena epoch_arena_;
+  StringPool record_pool_;
+  void ResetEpochScratch() {
+    epoch_arena_.Reset();
+    record_pool_.Trim(/*keep=*/16);
+  }
+  const std::string& OutputTagFor(uint32_t output, uint32_t sub) const {
+    return output_tags_[output][sub];
+  }
 
   // Epoch bookkeeping for markers / transactions.
   Lsn epoch_first_output_ = kInvalidLsn;

@@ -108,30 +108,37 @@ Status KvStore::AppendWal(const std::vector<KvWriteOp>& ops) {
   if (wal_ == nullptr) {
     return OkStatus();
   }
-  BinaryWriter writer;
-  for (const auto& op : ops) {
-    if (op.value.has_value()) {
-      writer.WriteU8(kOpPut);
-      writer.WriteString(op.key);
-      writer.WriteString(*op.value);
-    } else {
-      writer.WriteU8(kOpDelete);
-      writer.WriteString(op.key);
+  // Assemble the whole [len][body][checksum] frame in one reused buffer and
+  // hand it to fwrite in a single call. The on-disk bytes are identical to
+  // the previous three-write encoding.
+  wal_frame_.clear();
+  wal_frame_.resize(4);  // length prefix, patched once the body is encoded
+  {
+    BinaryWriter writer(&wal_frame_);
+    for (const auto& op : ops) {
+      if (op.value.has_value()) {
+        writer.WriteU8(kOpPut);
+        writer.WriteString(op.key);
+        writer.WriteString(*op.value);
+      } else {
+        writer.WriteU8(kOpDelete);
+        writer.WriteString(op.key);
+      }
     }
   }
-  const std::string& body = writer.data();
-  uint32_t len = static_cast<uint32_t>(body.size());
-  uint64_t sum = Fnv1a(body);
-  if (std::fwrite(&len, 4, 1, wal_) != 1 ||
-      std::fwrite(body.data(), 1, body.size(), wal_) != body.size() ||
-      std::fwrite(&sum, 8, 1, wal_) != 1) {
+  uint32_t len = static_cast<uint32_t>(wal_frame_.size() - 4);
+  uint64_t sum = Fnv1a(std::string_view(wal_frame_).substr(4));
+  std::memcpy(wal_frame_.data(), &len, 4);
+  wal_frame_.append(reinterpret_cast<const char*>(&sum), 8);
+  if (std::fwrite(wal_frame_.data(), 1, wal_frame_.size(), wal_) !=
+      wal_frame_.size()) {
     return InternalError("WAL write failed");
   }
   std::fflush(wal_);
   if (options_.fsync_writes) {
     ::fsync(fileno(wal_));
   }
-  bytes_written_ += 12 + body.size();
+  bytes_written_ += wal_frame_.size();
   return OkStatus();
 }
 

@@ -75,6 +75,10 @@ class KvStore {
   mutable std::mutex mu_;
   std::map<std::string, std::string> data_;
   std::FILE* wal_ = nullptr;
+  // Reused frame scratch for AppendWal (guarded by mu_): the full
+  // [len][body][checksum] frame is assembled here and written with one
+  // fwrite, so steady-state WAL appends neither allocate nor split writes.
+  std::string wal_frame_;
   uint64_t bytes_written_ = 0;
 };
 

@@ -17,29 +17,46 @@ std::string EncodePerson(const Person& p) {
   return w.Take();
 }
 
-Result<Person> DecodePerson(std::string_view raw) {
+Result<PersonView> DecodePersonView(std::string_view raw) {
   BinaryReader r(raw);
-  Person p;
+  PersonView p;
   auto id = r.ReadVarU64();
-  auto name = r.ReadString();
-  auto email = r.ReadString();
-  auto cc = r.ReadString();
-  auto city = r.ReadString();
-  auto state = r.ReadString();
+  auto name = r.ReadStringView();
+  auto email = r.ReadStringView();
+  auto cc = r.ReadStringView();
+  auto city = r.ReadStringView();
+  auto state = r.ReadStringView();
   auto dt = r.ReadVarI64();
-  auto extra = r.ReadString();
+  auto extra = r.ReadStringView();
   if (!id.ok() || !name.ok() || !email.ok() || !cc.ok() || !city.ok() ||
       !state.ok() || !dt.ok() || !extra.ok()) {
     return DataLossError("corrupt person event");
   }
   p.id = *id;
-  p.name = std::move(*name);
-  p.email = std::move(*email);
-  p.credit_card = std::move(*cc);
-  p.city = std::move(*city);
-  p.state = std::move(*state);
+  p.name = *name;
+  p.email = *email;
+  p.credit_card = *cc;
+  p.city = *city;
+  p.state = *state;
   p.date_time = *dt;
-  p.extra = std::move(*extra);
+  p.extra = *extra;
+  return p;
+}
+
+Result<Person> DecodePerson(std::string_view raw) {
+  auto v = DecodePersonView(raw);
+  if (!v.ok()) {
+    return v.status();
+  }
+  Person p;
+  p.id = v->id;
+  p.name = std::string(v->name);
+  p.email = std::string(v->email);
+  p.credit_card = std::string(v->credit_card);
+  p.city = std::string(v->city);
+  p.state = std::string(v->state);
+  p.date_time = v->date_time;
+  p.extra = std::string(v->extra);
   return p;
 }
 
@@ -58,34 +75,53 @@ std::string EncodeAuction(const Auction& a) {
   return w.Take();
 }
 
-Result<Auction> DecodeAuction(std::string_view raw) {
+Result<AuctionView> DecodeAuctionView(std::string_view raw) {
   BinaryReader r(raw);
-  Auction a;
+  AuctionView a;
   auto id = r.ReadVarU64();
-  auto item = r.ReadString();
-  auto desc = r.ReadString();
+  auto item = r.ReadStringView();
+  auto desc = r.ReadStringView();
   auto initial = r.ReadVarI64();
   auto reserve = r.ReadVarI64();
   auto dt = r.ReadVarI64();
   auto expires = r.ReadVarI64();
   auto seller = r.ReadVarU64();
   auto category = r.ReadVarU64();
-  auto extra = r.ReadString();
+  auto extra = r.ReadStringView();
   if (!id.ok() || !item.ok() || !desc.ok() || !initial.ok() ||
       !reserve.ok() || !dt.ok() || !expires.ok() || !seller.ok() ||
       !category.ok() || !extra.ok()) {
     return DataLossError("corrupt auction event");
   }
   a.id = *id;
-  a.item_name = std::move(*item);
-  a.description = std::move(*desc);
+  a.item_name = *item;
+  a.description = *desc;
   a.initial_bid = *initial;
   a.reserve = *reserve;
   a.date_time = *dt;
   a.expires = *expires;
   a.seller = *seller;
   a.category = *category;
-  a.extra = std::move(*extra);
+  a.extra = *extra;
+  return a;
+}
+
+Result<Auction> DecodeAuction(std::string_view raw) {
+  auto v = DecodeAuctionView(raw);
+  if (!v.ok()) {
+    return v.status();
+  }
+  Auction a;
+  a.id = v->id;
+  a.item_name = std::string(v->item_name);
+  a.description = std::string(v->description);
+  a.initial_bid = v->initial_bid;
+  a.reserve = v->reserve;
+  a.date_time = v->date_time;
+  a.expires = v->expires;
+  a.seller = v->seller;
+  a.category = v->category;
+  a.extra = std::string(v->extra);
   return a;
 }
 
@@ -101,16 +137,16 @@ std::string EncodeBid(const Bid& b) {
   return w.Take();
 }
 
-Result<Bid> DecodeBid(std::string_view raw) {
+Result<BidView> DecodeBidView(std::string_view raw) {
   BinaryReader r(raw);
-  Bid b;
+  BidView b;
   auto auction = r.ReadVarU64();
   auto bidder = r.ReadVarU64();
   auto price = r.ReadVarI64();
-  auto channel = r.ReadString();
-  auto url = r.ReadString();
+  auto channel = r.ReadStringView();
+  auto url = r.ReadStringView();
   auto dt = r.ReadVarI64();
-  auto extra = r.ReadString();
+  auto extra = r.ReadStringView();
   if (!auction.ok() || !bidder.ok() || !price.ok() || !channel.ok() ||
       !url.ok() || !dt.ok() || !extra.ok()) {
     return DataLossError("corrupt bid event");
@@ -118,10 +154,26 @@ Result<Bid> DecodeBid(std::string_view raw) {
   b.auction = *auction;
   b.bidder = *bidder;
   b.price = *price;
-  b.channel = std::move(*channel);
-  b.url = std::move(*url);
+  b.channel = *channel;
+  b.url = *url;
   b.date_time = *dt;
-  b.extra = std::move(*extra);
+  b.extra = *extra;
+  return b;
+}
+
+Result<Bid> DecodeBid(std::string_view raw) {
+  auto v = DecodeBidView(raw);
+  if (!v.ok()) {
+    return v.status();
+  }
+  Bid b;
+  b.auction = v->auction;
+  b.bidder = v->bidder;
+  b.price = v->price;
+  b.channel = std::string(v->channel);
+  b.url = std::string(v->url);
+  b.date_time = v->date_time;
+  b.extra = std::string(v->extra);
   return b;
 }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
@@ -48,12 +49,53 @@ struct Bid {
   std::string extra;
 };
 
+// In-place views over an encoded event (DESIGN.md §12): string fields alias
+// the input buffer, numeric fields are decoded. Valid only while the buffer
+// outlives the view — UDF predicates and key extractors decode these instead
+// of materializing owning structs per record.
+struct PersonView {
+  uint64_t id = 0;
+  std::string_view name;
+  std::string_view email;
+  std::string_view credit_card;
+  std::string_view city;
+  std::string_view state;
+  TimeNs date_time = 0;
+  std::string_view extra;
+};
+
+struct AuctionView {
+  uint64_t id = 0;
+  std::string_view item_name;
+  std::string_view description;
+  int64_t initial_bid = 0;
+  int64_t reserve = 0;
+  TimeNs date_time = 0;
+  TimeNs expires = 0;
+  uint64_t seller = 0;
+  uint64_t category = 0;
+  std::string_view extra;
+};
+
+struct BidView {
+  uint64_t auction = 0;
+  uint64_t bidder = 0;
+  int64_t price = 0;  // cents
+  std::string_view channel;
+  std::string_view url;
+  TimeNs date_time = 0;
+  std::string_view extra;
+};
+
 std::string EncodePerson(const Person& p);
 Result<Person> DecodePerson(std::string_view raw);
+Result<PersonView> DecodePersonView(std::string_view raw);
 std::string EncodeAuction(const Auction& a);
 Result<Auction> DecodeAuction(std::string_view raw);
+Result<AuctionView> DecodeAuctionView(std::string_view raw);
 std::string EncodeBid(const Bid& b);
 Result<Bid> DecodeBid(std::string_view raw);
+Result<BidView> DecodeBidView(std::string_view raw);
 
 // Paper §5.3: "The average size for bid, auction and new user events are
 // 100, 500 and 200 bytes respectively."

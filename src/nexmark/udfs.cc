@@ -47,16 +47,17 @@ bool DecodeU64Pair(std::string_view raw, uint64_t* a, uint64_t* b) {
 }
 
 // WindowAggregateOperator emits value = varint(window start) + string(acc).
+// The view variant aliases `raw`; valid while the input record lives.
 bool DecodeWindowResult(std::string_view raw, TimeNs* start,
-                        std::string* acc) {
+                        std::string_view* acc) {
   BinaryReader r(raw);
   auto s = r.ReadVarI64();
-  auto a = r.ReadString();
+  auto a = r.ReadStringView();
   if (!s.ok() || !a.ok()) {
     return false;
   }
   *start = *s;
-  *acc = std::move(*a);
+  *acc = *a;
   return true;
 }
 
@@ -102,39 +103,52 @@ bool DecodeWin(std::string_view raw, Win* win) {
 bool NonEmptyValue(const StreamRecord& r) { return !r.value.empty(); }
 
 bool BidOnSampledAuction(const StreamRecord& r) {
-  auto bid = DecodeBid(r.value);
+  auto bid = DecodeBidView(r.value);
   return bid.ok() && (*bid).auction % 123 == 0;
 }
 
 bool AuctionInCategory10(const StreamRecord& r) {
-  auto a = DecodeAuction(r.value);
+  auto a = DecodeAuctionView(r.value);
   return a.ok() && (*a).category == 10;
 }
 
 bool PersonInOrIdCa(const StreamRecord& r) {
-  auto p = DecodePerson(r.value);
+  auto p = DecodePersonView(r.value);
   if (!p.ok()) {
     return false;
   }
-  const std::string& s = (*p).state;
+  std::string_view s = (*p).state;
   return s == "OR" || s == "ID" || s == "CA";
 }
 
 // --- maps ---
 
 StreamRecord ConvertUsdToEur(StreamRecord r) {
-  auto bid = DecodeBid(r.value);
+  auto bid = DecodeBidView(r.value);
   if (bid.ok()) {
-    bid->price = static_cast<int64_t>(
+    int64_t eur = static_cast<int64_t>(
         std::llround(static_cast<double>(bid->price) * 0.908));
-    r.value = EncodeBid(*bid);
+    // Re-encode into thread-local scratch (the view aliases r.value, so the
+    // output cannot be built in place), then swap into the record reusing
+    // its capacity. Field order matches EncodeBid byte for byte.
+    thread_local std::string scratch;
+    scratch.clear();
+    BinaryWriter w(&scratch);
+    w.WriteVarU64(bid->auction);
+    w.WriteVarU64(bid->bidder);
+    w.WriteVarI64(eur);
+    w.WriteString(bid->channel);
+    w.WriteString(bid->url);
+    w.WriteVarI64(bid->date_time);
+    w.WriteString(bid->extra);
+    r.value.assign(scratch);
   }
   return r;
 }
 
 StreamRecord PackQ5WindowCount(StreamRecord r) {
   TimeNs start = 0;
-  std::string acc;
+  std::string_view acc;
   if (DecodeWindowResult(r.value, &start, &acc)) {
     BinaryWriter w(32);
     w.WriteVarI64(start);
@@ -148,31 +162,33 @@ StreamRecord PackQ5WindowCount(StreamRecord r) {
 // --- key extractors ---
 
 std::string AuctionSellerKey(const StreamRecord& r) {
-  auto a = DecodeAuction(r.value);
+  auto a = DecodeAuctionView(r.value);
   return a.ok() ? std::to_string((*a).seller) : std::string();
 }
 
 std::string AuctionIdKey(const StreamRecord& r) {
-  auto a = DecodeAuction(r.value);
+  auto a = DecodeAuctionView(r.value);
   return a.ok() ? std::to_string((*a).id) : std::string();
 }
 
 std::string PersonIdKey(const StreamRecord& r) {
-  auto p = DecodePerson(r.value);
+  auto p = DecodePersonView(r.value);
   return p.ok() ? std::to_string((*p).id) : std::string();
 }
 
 std::string BidAuctionKey(const StreamRecord& r) {
-  auto b = DecodeBid(r.value);
+  auto b = DecodeBidView(r.value);
   return b.ok() ? std::to_string((*b).auction) : std::string();
 }
 
 std::string JoinedRowStateKey(const StreamRecord& r) {
   BinaryReader reader(r.value);
-  auto name = reader.ReadString();
-  auto city = reader.ReadString();
-  auto state = reader.ReadString();
-  return state.ok() ? *state : std::string("?");
+  auto name = reader.ReadStringView();
+  auto city = reader.ReadStringView();
+  auto state = reader.ReadStringView();
+  (void)name;
+  (void)city;
+  return state.ok() ? std::string(*state) : std::string("?");
 }
 
 std::string WinCategoryKey(const StreamRecord& r) {
@@ -201,7 +217,7 @@ std::string Q5WindowStartKey(const StreamRecord& r) {
 
 std::string WindowStartKey(const StreamRecord& r) {
   TimeNs start = 0;
-  std::string acc;
+  std::string_view acc;
   if (DecodeWindowResult(r.value, &start, &acc)) {
     return std::to_string(start);
   }
@@ -214,8 +230,8 @@ std::string RecordKey(const StreamRecord& r) { return r.key; }
 
 std::string JoinAuctionWithPerson(std::string_view auction_raw,
                                   std::string_view person_raw) {
-  auto a = DecodeAuction(auction_raw);
-  auto p = DecodePerson(person_raw);
+  auto a = DecodeAuctionView(auction_raw);
+  auto p = DecodePersonView(person_raw);
   BinaryWriter w(96);
   if (a.ok() && p.ok()) {
     w.WriteString(p->name);
@@ -228,8 +244,8 @@ std::string JoinAuctionWithPerson(std::string_view auction_raw,
 
 std::string JoinBidWithAuction(std::string_view bid_raw,
                                std::string_view auction_raw) {
-  auto b = DecodeBid(bid_raw);
-  auto a = DecodeAuction(auction_raw);
+  auto b = DecodeBidView(bid_raw);
+  auto a = DecodeAuctionView(auction_raw);
   if (!b.ok() || !a.ok()) {
     return std::string();
   }
@@ -238,8 +254,8 @@ std::string JoinBidWithAuction(std::string_view bid_raw,
 
 std::string JoinPersonWithAuction(std::string_view person_raw,
                                   std::string_view auction_raw) {
-  auto p = DecodePerson(person_raw);
-  auto a = DecodeAuction(auction_raw);
+  auto p = DecodePersonView(person_raw);
+  auto a = DecodeAuctionView(auction_raw);
   BinaryWriter w(48);
   if (p.ok() && a.ok()) {
     w.WriteVarU64(p->id);
@@ -362,7 +378,7 @@ AggregateFn HottestAuctionAgg() {
     auto count_of = [](std::string_view raw) -> uint64_t {
       BinaryReader reader(raw);
       auto start = reader.ReadVarI64();
-      auto auction = reader.ReadString();
+      auto auction = reader.ReadStringView();
       auto count = reader.ReadVarU64();
       if (!start.ok() || !auction.ok() || !count.ok()) {
         return 0;
@@ -382,7 +398,7 @@ AggregateFn MaxBidAgg() {
   agg.init = [] { return std::string(); };
   agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
     auto price_of = [](std::string_view raw) -> int64_t {
-      auto b = DecodeBid(raw);
+      auto b = DecodeBidView(raw);
       return b.ok() ? (*b).price : -1;
     };
     if (acc.empty() || price_of(r.value) > price_of(acc)) {
@@ -399,11 +415,11 @@ AggregateFn MaxOfWindowMaxAgg() {
   agg.add = [](std::string_view acc, const StreamRecord& r) -> std::string {
     auto price_of = [](std::string_view raw) -> int64_t {
       TimeNs start = 0;
-      std::string bid_raw;
+      std::string_view bid_raw;
       if (!DecodeWindowResult(raw, &start, &bid_raw)) {
         return -1;
       }
-      auto b = DecodeBid(bid_raw);
+      auto b = DecodeBidView(bid_raw);
       return b.ok() ? (*b).price : -1;
     };
     if (acc.empty() || price_of(r.value) > price_of(acc)) {

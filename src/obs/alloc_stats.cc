@@ -1,0 +1,31 @@
+#include "src/obs/alloc_stats.h"
+
+namespace impeller {
+namespace obs {
+
+namespace {
+thread_local AllocStats t_stats;
+}  // namespace
+
+AllocStats AllocStatsNow() noexcept { return t_stats; }
+
+void RecordAllocation(size_t bytes) noexcept {
+  t_stats.allocs++;
+  t_stats.alloc_bytes += bytes;
+}
+
+void RecordBytesCopied(size_t bytes) noexcept {
+  t_stats.bytes_copied += bytes;
+}
+
+AllocStats AllocStatsScope::Delta() const noexcept {
+  AllocStats now = AllocStatsNow();
+  AllocStats d;
+  d.allocs = now.allocs - start_.allocs;
+  d.alloc_bytes = now.alloc_bytes - start_.alloc_bytes;
+  d.bytes_copied = now.bytes_copied - start_.bytes_copied;
+  return d;
+}
+
+}  // namespace obs
+}  // namespace impeller

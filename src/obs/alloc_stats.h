@@ -1,0 +1,54 @@
+// Data-plane allocation accounting (DESIGN.md §12).
+//
+// Two thread-local tallies back the allocs_per_record / bytes_copied_per_
+// record metrics of the zero-copy data plane:
+//
+//  * heap allocations — fed by a global operator new/delete override that
+//    benchmark binaries opt into (see bench/alloc_hook.h). Production
+//    binaries never install the hook, so the counters read zero there and
+//    RecordAllocation costs nothing.
+//  * bytes copied — explicit instrumentation at the few places the record
+//    path still memcpy's payload bytes (view -> owning materialization for
+//    the operator chain, serialization into the flush buffer).
+//
+// Everything here is noexcept and allocation-free: RecordAllocation is
+// called from inside operator new.
+#ifndef IMPELLER_SRC_OBS_ALLOC_STATS_H_
+#define IMPELLER_SRC_OBS_ALLOC_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace impeller {
+namespace obs {
+
+struct AllocStats {
+  uint64_t allocs = 0;        // heap allocations observed (hooked builds)
+  uint64_t alloc_bytes = 0;   // bytes requested from the heap
+  uint64_t bytes_copied = 0;  // payload bytes memcpy'd by the record path
+};
+
+// Running totals for the calling thread.
+AllocStats AllocStatsNow() noexcept;
+
+// Called by the operator-new hook (bench binaries only).
+void RecordAllocation(size_t bytes) noexcept;
+
+// Called by data-plane code when it copies payload bytes.
+void RecordBytesCopied(size_t bytes) noexcept;
+
+// Delta-measurement scope: construct before the region of interest, call
+// Delta() after.
+class AllocStatsScope {
+ public:
+  AllocStatsScope() noexcept : start_(AllocStatsNow()) {}
+  AllocStats Delta() const noexcept;
+
+ private:
+  AllocStats start_;
+};
+
+}  // namespace obs
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_OBS_ALLOC_STATS_H_

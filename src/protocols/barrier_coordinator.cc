@@ -134,7 +134,7 @@ void BarrierCoordinator::Loop() {
     lock.unlock();
     BinaryWriter w;
     w.WriteVarU64(id);
-    Status put = store_->Put(CompletedMetaKey(options_.query), w.data());
+    Status put = store_->Put(CompletedMetaKey(options_.query), w.view());
     if (!put.ok()) {
       LOG_WARN << "checkpoint " << id << " meta write failed";
       continue;

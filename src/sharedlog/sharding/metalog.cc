@@ -94,7 +94,7 @@ Lsn Metalog::SealCut() {
 }
 
 Lsn Metalog::FindFirstLocked(std::string_view tag, Lsn from) const {
-  auto it = tag_index_.find(std::string(tag));
+  auto it = tag_index_.find(tag);
   if (it == tag_index_.end()) {
     return kInvalidLsn;
   }
@@ -125,7 +125,7 @@ Result<LogEntry> Metalog::FetchLocked(const ViewEntry& entry) const {
 // must never let a reader skip ahead. Returns kInvalidLsn when no duplicate
 // is due or the record has since been trimmed.
 Lsn Metalog::TakePendingDuplicateLocked(std::string_view tag, Lsn from_lsn) {
-  auto it = dup_pending_.find(std::string(tag));
+  auto it = dup_pending_.find(tag);
   if (it == dup_pending_.end() || it->second >= from_lsn) {
     return kInvalidLsn;
   }
@@ -152,7 +152,7 @@ Result<LogEntry> Metalog::ReadNext(std::string_view tag, Lsn from_lsn) {
       dup != kInvalidLsn) {
     return FetchLocked(*SlotLocked(dup));
   }
-  if (auto it = tag_trimmed_high_.find(std::string(tag));
+  if (auto it = tag_trimmed_high_.find(tag);
       it != tag_trimmed_high_.end() && from_lsn <= it->second) {
     // The cursor provably points at a record of this tag that was garbage
     // collected; surface that instead of silently skipping data.
@@ -182,7 +182,7 @@ Result<LogEntry> Metalog::AwaitNext(std::string_view tag, Lsn from_lsn,
         dup != kInvalidLsn) {
       return FetchLocked(*SlotLocked(dup));
     }
-    if (auto it = tag_trimmed_high_.find(std::string(tag));
+    if (auto it = tag_trimmed_high_.find(tag);
         it != tag_trimmed_high_.end() && from_lsn <= it->second) {
       return TrimmedError("cursor at/below trimmed tag record");
     }
@@ -217,7 +217,7 @@ Result<LogEntry> Metalog::AwaitNext(std::string_view tag, Lsn from_lsn,
 
 Result<LogEntry> Metalog::ReadLast(std::string_view tag) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = tag_index_.find(std::string(tag));
+  auto it = tag_index_.find(tag);
   if (it == tag_index_.end() || it->second.empty()) {
     return NotFoundError("no record with tag");
   }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/hash.h"
 #include "src/common/status.h"
 #include "src/sharedlog/log_record.h"
 #include "src/sharedlog/sharding/shard.h"
@@ -124,11 +125,16 @@ class Metalog {
   // (pruned by Trim alongside the shard's records).
   std::vector<std::deque<Lsn>> global_of_;
   std::vector<uint64_t> global_of_base_;
-  std::unordered_map<std::string, std::vector<Lsn>> tag_index_;
+  // Heterogeneous lookup (transparent hash/equal): per-read probes take the
+  // caller's string_view directly, no temporary std::string.
+  template <typename V>
+  using TagMap = std::unordered_map<std::string, V, TransparentStringHash,
+                                    std::equal_to<>>;
+  TagMap<std::vector<Lsn>> tag_index_;
   // Highest LSN ever trimmed per tag: a cursor at or below this value has
   // provably missed records and must observe kTrimmed.
-  std::unordered_map<std::string, Lsn> tag_trimmed_high_;
-  std::unordered_map<std::string, Lsn> dup_pending_;
+  TagMap<Lsn> tag_trimmed_high_;
+  TagMap<Lsn> dup_pending_;
   uint64_t cuts_ = 0;
   bool closed_ = false;
 };

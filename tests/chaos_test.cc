@@ -212,7 +212,8 @@ Result<std::vector<std::string>> CollectCommitted(Engine& engine) {
       if (!bid.ok()) {
         return bid.status();
       }
-      lines.push_back(r.data.key + "|" + std::to_string(bid->price) + "|" +
+      lines.push_back(std::string(r.data.key) + "|" +
+                      std::to_string(bid->price) + "|" +
                       std::to_string(bid->date_time / kMillisecond));
     }
   }

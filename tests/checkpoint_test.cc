@@ -79,7 +79,7 @@ TEST_F(CheckpointTest, ReplayAppliesCommittedChanges) {
 
   MapStateStore store("agg", nullptr);
   auto stats = ReplayChangelog(&log_, kTask, 0, cut2, 0,
-                               [&](const ChangeLogBody& c) {
+                               [&](const ChangeLogView& c) {
                                  store.ApplyChange(c);
                                });
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
@@ -100,7 +100,7 @@ TEST_F(CheckpointTest, ReplayDropsSupersededInstanceChanges) {
 
   MapStateStore store("agg", nullptr);
   auto stats = ReplayChangelog(&log_, kTask, 0, cut2, 0,
-                               [&](const ChangeLogBody& c) {
+                               [&](const ChangeLogView& c) {
                                  store.ApplyChange(c);
                                });
   ASSERT_TRUE(stats.ok());
@@ -117,7 +117,7 @@ TEST_F(CheckpointTest, ReplayFromMidpointSkipsPrefix) {
 
   MapStateStore store("agg", nullptr);
   auto stats = ReplayChangelog(&log_, kTask, cut1 + 1, cut2, 0,
-                               [&](const ChangeLogBody& c) {
+                               [&](const ChangeLogView& c) {
                                  store.ApplyChange(c);
                                });
   ASSERT_TRUE(stats.ok());
@@ -128,7 +128,7 @@ TEST_F(CheckpointTest, ReplayFromMidpointSkipsPrefix) {
 TEST_F(CheckpointTest, ReplayToInvalidCutIsEmpty) {
   MapStateStore store("agg", nullptr);
   auto stats = ReplayChangelog(&log_, kTask, 0, kInvalidLsn, 0,
-                               [&](const ChangeLogBody&) { FAIL(); });
+                               [&](const ChangeLogView&) { FAIL(); });
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->entries_read, 0u);
 }

@@ -204,6 +204,229 @@ TEST(NexmarkCodecTest, BidRoundTripAndCorruption) {
   EXPECT_FALSE(DecodeBid("garbage").ok());
 }
 
+// --- zero-copy view decoders (DESIGN.md §12) ---
+// The view decoders must be drop-in equivalents of the owning ones: same
+// fields on success, same kDataLoss verdict on every truncated or corrupt
+// input. Each case decodes both ways and cross-checks, then sweeps every
+// proper prefix of the encoding asserting the two paths agree bit-for-bit
+// on ok()/code().
+
+template <typename OwningFn, typename ViewFn>
+void ExpectSameVerdictOnEveryPrefix(std::string_view enc, OwningFn owning,
+                                    ViewFn view) {
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    std::string_view prefix = enc.substr(0, cut);
+    auto o = owning(prefix);
+    auto v = view(prefix);
+    EXPECT_EQ(o.ok(), v.ok()) << "cut=" << cut;
+    if (!o.ok() && !v.ok()) {
+      EXPECT_EQ(o.status().code(), v.status().code()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(ViewEquivalenceTest, EnvelopeOwningAndViewAgree) {
+  RecordHeader h;
+  h.type = RecordType::kChangeLog;
+  h.producer = "q4/agg/2";
+  h.instance = 9;
+  h.seq = 777;
+  std::string enc = EncodeEnvelope(h, "payload-body");
+  auto owning = DecodeEnvelope(enc);
+  auto view = DecodeEnvelopeView(enc);
+  ASSERT_TRUE(owning.ok());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type, owning->header.type);
+  EXPECT_EQ(view->producer, owning->header.producer);
+  EXPECT_EQ(view->instance, owning->header.instance);
+  EXPECT_EQ(view->seq, owning->header.seq);
+  EXPECT_EQ(view->body, owning->body);
+  ExpectSameVerdictOnEveryPrefix(
+      enc, [](std::string_view s) { return DecodeEnvelope(s); },
+      [](std::string_view s) { return DecodeEnvelopeView(s); });
+  // Truncating inside the header is data loss for both paths.
+  EXPECT_EQ(DecodeEnvelope(std::string_view(enc).substr(0, 2)).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(
+      DecodeEnvelopeView(std::string_view(enc).substr(0, 2)).status().code(),
+      StatusCode::kDataLoss);
+}
+
+TEST(ViewEquivalenceTest, DataBodyOwningAndViewAgree) {
+  DataBody body;
+  body.key = "auction-77";
+  body.value = std::string(300, 'q');
+  body.event_time = -5;  // negative event times must survive zig-zag
+  std::string enc = EncodeDataBody(body);
+  auto owning = DecodeDataBody(enc);
+  auto view = DecodeDataView(enc);
+  ASSERT_TRUE(owning.ok());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->key, owning->key);
+  EXPECT_EQ(view->value, owning->value);
+  EXPECT_EQ(view->event_time, owning->event_time);
+  ExpectSameVerdictOnEveryPrefix(
+      enc, [](std::string_view s) { return DecodeDataBody(s); },
+      [](std::string_view s) { return DecodeDataView(s); });
+  // Every proper prefix truncates a field: kDataLoss on both paths.
+  EXPECT_EQ(
+      DecodeDataBody(std::string_view(enc).substr(0, enc.size() - 1))
+          .status()
+          .code(),
+      StatusCode::kDataLoss);
+  EXPECT_EQ(DecodeDataView(std::string_view(enc).substr(0, enc.size() - 1))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(ViewEquivalenceTest, ChangeLogOwningAndViewAgree) {
+  ChangeLogBody body{"counts", "word-7", false, std::string(64, 'c')};
+  std::string enc = EncodeChangeLogBody(body);
+  auto owning = DecodeChangeLogBody(enc);
+  auto view = DecodeChangeLogView(enc);
+  ASSERT_TRUE(owning.ok());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->store, owning->store);
+  EXPECT_EQ(view->key, owning->key);
+  EXPECT_EQ(view->is_delete, owning->is_delete);
+  EXPECT_EQ(view->value, owning->value);
+  ExpectSameVerdictOnEveryPrefix(
+      enc, [](std::string_view s) { return DecodeChangeLogBody(s); },
+      [](std::string_view s) { return DecodeChangeLogView(s); });
+}
+
+TEST(ViewEquivalenceTest, NexmarkPersonOwningAndViewAgree) {
+  Person p;
+  p.id = 12;
+  p.name = "Ada";
+  p.email = "ada@example.com";
+  p.credit_card = "9999";
+  p.city = "Lodi";
+  p.state = "CA";
+  p.date_time = 4242;
+  p.extra = std::string(33, 'e');
+  std::string enc = EncodePerson(p);
+  auto owning = DecodePerson(enc);
+  auto view = DecodePersonView(enc);
+  ASSERT_TRUE(owning.ok());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->id, owning->id);
+  EXPECT_EQ(view->name, owning->name);
+  EXPECT_EQ(view->email, owning->email);
+  EXPECT_EQ(view->credit_card, owning->credit_card);
+  EXPECT_EQ(view->city, owning->city);
+  EXPECT_EQ(view->state, owning->state);
+  EXPECT_EQ(view->date_time, owning->date_time);
+  EXPECT_EQ(view->extra, owning->extra);
+  ExpectSameVerdictOnEveryPrefix(
+      enc, [](std::string_view s) { return DecodePerson(s); },
+      [](std::string_view s) { return DecodePersonView(s); });
+}
+
+TEST(ViewEquivalenceTest, NexmarkAuctionOwningAndViewAgree) {
+  Auction a;
+  a.id = 501;
+  a.item_name = "teapot";
+  a.description = "short spout";
+  a.initial_bid = 10;
+  a.reserve = 99;
+  a.date_time = 1111;
+  a.expires = 2222;
+  a.seller = 3;
+  a.category = 14;
+  a.extra = "x";
+  std::string enc = EncodeAuction(a);
+  auto owning = DecodeAuction(enc);
+  auto view = DecodeAuctionView(enc);
+  ASSERT_TRUE(owning.ok());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->id, owning->id);
+  EXPECT_EQ(view->item_name, owning->item_name);
+  EXPECT_EQ(view->description, owning->description);
+  EXPECT_EQ(view->initial_bid, owning->initial_bid);
+  EXPECT_EQ(view->reserve, owning->reserve);
+  EXPECT_EQ(view->date_time, owning->date_time);
+  EXPECT_EQ(view->expires, owning->expires);
+  EXPECT_EQ(view->seller, owning->seller);
+  EXPECT_EQ(view->category, owning->category);
+  EXPECT_EQ(view->extra, owning->extra);
+  ExpectSameVerdictOnEveryPrefix(
+      enc, [](std::string_view s) { return DecodeAuction(s); },
+      [](std::string_view s) { return DecodeAuctionView(s); });
+}
+
+TEST(ViewEquivalenceTest, NexmarkBidOwningAndViewAgree) {
+  Bid b;
+  b.auction = 9;
+  b.bidder = 3;
+  b.price = 4242;
+  b.channel = "Apple";
+  b.url = "https://x";
+  b.date_time = 515;
+  b.extra = "tail";
+  std::string enc = EncodeBid(b);
+  auto owning = DecodeBid(enc);
+  auto view = DecodeBidView(enc);
+  ASSERT_TRUE(owning.ok());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->auction, owning->auction);
+  EXPECT_EQ(view->bidder, owning->bidder);
+  EXPECT_EQ(view->price, owning->price);
+  EXPECT_EQ(view->channel, owning->channel);
+  EXPECT_EQ(view->url, owning->url);
+  EXPECT_EQ(view->date_time, owning->date_time);
+  EXPECT_EQ(view->extra, owning->extra);
+  ExpectSameVerdictOnEveryPrefix(
+      enc, [](std::string_view s) { return DecodeBid(s); },
+      [](std::string_view s) { return DecodeBidView(s); });
+}
+
+TEST(ViewEquivalenceTest, CorruptLengthPrefixIsDataLossOnBothPaths) {
+  // Inflate the first varint length prefix (key length) far past the
+  // buffer: both decoders must refuse with kDataLoss instead of reading
+  // out of bounds.
+  DataBody body{"k", "v", 1};
+  std::string enc = EncodeDataBody(body);
+  enc[0] = '\x7f';
+  EXPECT_EQ(DecodeDataBody(enc).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DecodeDataView(enc).status().code(), StatusCode::kDataLoss);
+
+  ChangeLogBody change{"s", "k", false, "v"};
+  std::string cenc = EncodeChangeLogBody(change);
+  cenc[0] = '\x7f';
+  EXPECT_EQ(DecodeChangeLogBody(cenc).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DecodeChangeLogView(cenc).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(AppendEncoderTest, AppendModeMatchesOwningEncodersByteForByte) {
+  // The zero-copy flush path serializes with the Append* encoders into a
+  // shared buffer; the wire format must stay identical to the owning
+  // Encode* helpers the rest of the system (and the log) was built on.
+  RecordHeader h;
+  h.type = RecordType::kData;
+  h.producer = "q1/map/0";
+  h.instance = 4;
+  h.seq = 99;
+  DataBody body{"key-1", "value-1", 123456789};
+  std::string owned = EncodeEnvelope(h, EncodeDataBody(body));
+
+  std::string sink;
+  BinaryWriter w(&sink);
+  AppendEnvelopeHeader(w, h.type, h.producer, h.instance, h.seq);
+  AppendDataBody(w, body.key, body.value, body.event_time);
+  EXPECT_EQ(sink, owned);
+
+  ChangeLogBody change{"store", "key", true, ""};
+  std::string owned_change = EncodeChangeLogBody(change);
+  std::string change_sink;
+  BinaryWriter cw(&change_sink);
+  AppendChangeLogBody(
+      cw, ChangeLogView{change.store, change.key, change.is_delete,
+                        change.value});
+  EXPECT_EQ(change_sink, owned_change);
+}
+
 TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {
   Rng rng(2024);
   for (int i = 0; i < 500; ++i) {
@@ -219,6 +442,12 @@ TEST(CodecFuzzTest, RandomBytesNeverCrashDecoders) {
     (void)DecodeBid(junk);
     (void)DecodeAuction(junk);
     (void)DecodePerson(junk);
+    (void)DecodeEnvelopeView(junk);
+    (void)DecodeDataView(junk);
+    (void)DecodeChangeLogView(junk);
+    (void)DecodeBidView(junk);
+    (void)DecodeAuctionView(junk);
+    (void)DecodePersonView(junk);
   }
 }
 

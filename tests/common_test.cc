@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "src/common/arena.h"
 #include "src/common/clock.h"
 #include "src/common/hash.h"
 #include "src/common/histogram.h"
@@ -68,7 +69,7 @@ TEST(SerdeTest, VarintRoundTripSmall) {
   for (uint64_t v : values) {
     w.WriteVarU64(v);
   }
-  BinaryReader r(w.data());
+  BinaryReader r(w.view());
   for (uint64_t v : values) {
     auto got = r.ReadVarU64();
     ASSERT_TRUE(got.ok());
@@ -82,7 +83,7 @@ class SerdeSignedSweep : public ::testing::TestWithParam<int64_t> {};
 TEST_P(SerdeSignedSweep, ZigZagRoundTrip) {
   BinaryWriter w;
   w.WriteVarI64(GetParam());
-  BinaryReader r(w.data());
+  BinaryReader r(w.view());
   auto got = r.ReadVarI64();
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(*got, GetParam());
@@ -98,7 +99,7 @@ TEST(SerdeTest, StringsAndDoubles) {
   w.WriteString(std::string(1000, 'x'));
   w.WriteDouble(3.14159);
   w.WriteString("");
-  BinaryReader r(w.data());
+  BinaryReader r(w.view());
   EXPECT_EQ(*r.ReadString(), "hello");
   EXPECT_EQ(r.ReadString()->size(), 1000u);
   EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.14159);
@@ -133,7 +134,7 @@ TEST(SerdeTest, RandomRoundTripProperty) {
     w.WriteVarU64(a);
     w.WriteVarI64(b);
     w.WriteString(s);
-    BinaryReader r(w.data());
+    BinaryReader r(w.view());
     EXPECT_EQ(*r.ReadVarU64(), a);
     EXPECT_EQ(*r.ReadVarI64(), b);
     EXPECT_EQ(*r.ReadString(), s);
@@ -141,6 +142,148 @@ TEST(SerdeTest, RandomRoundTripProperty) {
 }
 
 // --- histogram ---
+
+TEST(SerdeTest, SinkModeAppendsToCallerBuffer) {
+  std::string sink = "prefix-";
+  {
+    BinaryWriter w(&sink);
+    w.WriteVarU64(300);
+    w.WriteString("abc");
+    EXPECT_EQ(w.view().substr(0, 7), "prefix-");
+  }
+  // Sink mode owns nothing: the bytes landed directly in the caller's
+  // buffer and match what an owned writer would have produced.
+  BinaryWriter owned;
+  owned.WriteVarU64(300);
+  owned.WriteString("abc");
+  EXPECT_EQ(sink, "prefix-" + owned.Take());
+}
+
+TEST(SerdeTest, ViewAccessorTracksWrites) {
+  BinaryWriter w;
+  EXPECT_TRUE(w.view().empty());
+  w.WriteString("hello");
+  std::string_view before = w.view();
+  EXPECT_FALSE(before.empty());
+  EXPECT_EQ(before.size(), w.data().size());
+}
+
+TEST(SerdeTest, ReadStringViewAliasesInputAndMatchesReadString) {
+  BinaryWriter w;
+  w.WriteString("alpha");
+  w.WriteString("");
+  w.WriteString(std::string(500, 'z'));
+  std::string data = w.Take();
+
+  BinaryReader owning(data);
+  BinaryReader viewing(data);
+  for (int i = 0; i < 3; ++i) {
+    auto o = owning.ReadString();
+    auto v = viewing.ReadStringView();
+    ASSERT_TRUE(o.ok());
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*o, *v);
+    if (!v->empty()) {
+      // The view aliases the input buffer — zero copy.
+      EXPECT_GE(v->data(), data.data());
+      EXPECT_LE(v->data() + v->size(), data.data() + data.size());
+    }
+  }
+  EXPECT_TRUE(viewing.AtEnd());
+
+  BinaryReader truncated(std::string_view(data).substr(0, 3));
+  auto bad = truncated.ReadStringView();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ArenaTest, BumpAllocAndReset) {
+  Arena arena(64);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  char* a = arena.Alloc(16);
+  char* b = arena.Alloc(16);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.bytes_used(), 32u);
+
+  std::string_view copied = arena.CopyString("record-key");
+  EXPECT_EQ(copied, "record-key");
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Capacity survives Reset: the next epoch reuses the same block.
+  size_t reserved = arena.bytes_reserved();
+  char* c = arena.Alloc(16);
+  EXPECT_EQ(c, a) << "reset arena must reuse its first block";
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, GrowsThenConvergesToOneBlock) {
+  Arena arena(64);
+  for (int i = 0; i < 100; ++i) {
+    arena.Alloc(64);
+  }
+  EXPECT_GT(arena.blocks(), 1u);
+  size_t peak = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(arena.blocks(), 1u) << "reset keeps only the largest block";
+  EXPECT_LE(arena.bytes_reserved(), peak);
+  // A same-sized epoch may still grow (only the largest block was kept),
+  // but repeated epochs converge on an allocation-free steady state.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      arena.Alloc(64);
+    }
+    arena.Reset();
+  }
+  size_t settled = arena.bytes_reserved();
+  for (int i = 0; i < 100; ++i) {
+    arena.Alloc(64);
+  }
+  EXPECT_EQ(arena.blocks(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), settled);
+}
+
+TEST(ArenaTest, EmptyStringCopyAllocatesNothing) {
+  Arena arena;
+  std::string_view v = arena.CopyString("");
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(StringPoolTest, RecyclesCapacity) {
+  StringPool pool;
+  std::string s = pool.Acquire();
+  s.assign(256, 'x');
+  const char* data_ptr = s.data();
+  size_t cap = s.capacity();
+  pool.Release(std::move(s));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  std::string t = pool.Acquire();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.data(), data_ptr) << "acquire must return the pooled buffer";
+  EXPECT_GE(t.capacity(), cap);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(StringPoolTest, TrimBoundsIdleCapacity) {
+  StringPool pool;
+  for (int i = 0; i < 10; ++i) {
+    std::string s(128, 'y');
+    pool.Release(std::move(s));
+  }
+  EXPECT_EQ(pool.pooled(), 10u);
+  pool.Trim(4);
+  EXPECT_EQ(pool.pooled(), 4u);
+}
+
+TEST(StringPoolTest, MaxPooledBoundsTheFreeList) {
+  StringPool pool(2);
+  for (int i = 0; i < 5; ++i) {
+    pool.Release(std::string(64, 'a'));
+  }
+  EXPECT_EQ(pool.pooled(), 2u) << "max_pooled bounds the pool";
+}
 
 TEST(HistogramTest, PercentilesOfUniformSamples) {
   LatencyHistogram h;

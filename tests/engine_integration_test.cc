@@ -182,7 +182,7 @@ TEST(EngineIntegrationTest, ThreeStageStatelessPipeline) {
   ASSERT_TRUE(records.ok());
   std::set<std::string> values;
   for (const auto& r : *records) {
-    values.insert(r.data.value);
+    values.insert(std::string(r.data.value));
   }
   EXPECT_TRUE(values.count("[HELLO]"));
   EXPECT_TRUE(values.count("[BYE]"));

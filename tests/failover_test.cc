@@ -97,8 +97,8 @@ TEST(FailoverTest, SealReroutesAppendsAndKeepsOrderDense) {
   // The seal record is part of the log's durable history.
   auto seal_record = log.ReadLast(kLogSealTag);
   ASSERT_TRUE(seal_record.ok());
-  EXPECT_NE(seal_record->payload.find("seal shard=1"), std::string::npos);
-  EXPECT_NE(seal_record->payload.find("epoch=1"), std::string::npos);
+  EXPECT_NE(seal_record->payload.view().find("seal shard=1"), std::string::npos);
+  EXPECT_NE(seal_record->payload.view().find("epoch=1"), std::string::npos);
 
   EXPECT_EQ(metrics.GetCounter("log/seals")->Get(), 1u);
   EXPECT_EQ(metrics.GetCounter("log/epoch_bumps")->Get(), 1u);
@@ -268,7 +268,7 @@ TEST(FailoverTest, RejoinAtLaterEpoch) {
   ASSERT_TRUE(log.Append(Req({back_tag}, "post")).ok());
   auto rejoin_record = log.ReadLast(kLogSealTag);
   ASSERT_TRUE(rejoin_record.ok());
-  EXPECT_NE(rejoin_record->payload.find("rejoin shard=0"), std::string::npos);
+  EXPECT_NE(rejoin_record->payload.view().find("rejoin shard=0"), std::string::npos);
 
   // Dense order across seal + rejoin.
   for (Lsn lsn = 0; lsn < log.TailLsn(); ++lsn) {
@@ -332,7 +332,7 @@ TEST(FailoverTest, CrossEpochReadsNoGapsNoReorder) {
         ASSERT_EQ(entry.status().code(), StatusCode::kNotFound);
         break;
       }
-      long long payload = std::stoll(entry->payload);
+      long long payload = std::stoll(entry->payload.ToString());
       EXPECT_GT(payload, prev_payload) << "reorder within " << tag;
       if (prev_lsn != kInvalidLsn) {
         EXPECT_GT(entry->lsn, prev_lsn);

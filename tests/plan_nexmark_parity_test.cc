@@ -182,7 +182,8 @@ Result<std::vector<std::string>> CollectCommitted(Engine& engine,
     }
     for (const auto& r : *records) {
       // Raw key and value bytes: any lowering divergence shows up here.
-      lines.push_back(r.data.key + "|" + r.data.value + "|" +
+      lines.push_back(std::string(r.data.key) + "|" +
+                      std::string(r.data.value) + "|" +
                       std::to_string(r.data.event_time / kMillisecond));
     }
   }

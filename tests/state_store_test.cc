@@ -24,8 +24,9 @@ TEST(StateStoreTest, PutGetDelete) {
 
 TEST(StateStoreTest, ChangeCaptureSeesEveryMutation) {
   std::vector<ChangeLogBody> captured;
-  MapStateStore store("agg", [&](const ChangeLogBody& c) {
-    captured.push_back(c);
+  MapStateStore store("agg", [&](const ChangeLogView& c) {
+    captured.push_back(ChangeLogBody{std::string(c.store), std::string(c.key),
+                                     c.is_delete, std::string(c.value)});
   });
   store.Put("k", "v1");
   store.Put("k", "v2");
@@ -75,7 +76,7 @@ TEST(StateStoreTest, ScanEarlyStop) {
 
 TEST(StateStoreTest, DeleteRangeCapturesDeletions) {
   int deletes = 0;
-  MapStateStore store("s", [&](const ChangeLogBody& c) {
+  MapStateStore store("s", [&](const ChangeLogView& c) {
     if (c.is_delete) {
       deletes++;
     }
@@ -113,8 +114,9 @@ TEST(StateStoreTest, ReplayEquivalenceProperty) {
   Rng rng(77);
   for (int round = 0; round < 20; ++round) {
     std::vector<ChangeLogBody> log;
-    MapStateStore original("s", [&](const ChangeLogBody& c) {
-      log.push_back(c);
+    MapStateStore original("s", [&](const ChangeLogView& c) {
+      log.push_back(ChangeLogBody{std::string(c.store), std::string(c.key),
+                                  c.is_delete, std::string(c.value)});
     });
     for (int op = 0; op < 200; ++op) {
       std::string key = "k" + std::to_string(rng.NextBounded(30));

@@ -184,7 +184,7 @@ TEST_F(SubstreamReaderTest, BarrierInvokesHookInOrder) {
   size_t barrier_position = SIZE_MAX;
   uint64_t seen_id = 0;
   SubstreamReader::Hooks hooks;
-  hooks.on_barrier = [&](uint32_t, const RecordHeader&,
+  hooks.on_barrier = [&](uint32_t, const EnvelopeView&,
                          const BarrierBody& b, Lsn) {
     barrier_position = out.size();
     seen_id = b.checkpoint_id;

@@ -112,8 +112,8 @@ inline Result<std::map<std::string, int64_t>> ReadWordCounts(
       return records.status();
     }
     for (const auto& r : *records) {
-      int64_t value = std::stoll(r.data.value);
-      int64_t& slot = counts[r.data.key];
+      int64_t value = std::stoll(std::string(r.data.value));
+      int64_t& slot = counts[std::string(r.data.key)];
       slot = std::max(slot, value);
     }
   }
