@@ -1,20 +1,27 @@
-// Rescale demo (paper §5.3 skew tolerance): a parsing stage is
-// over-partitioned — 8 substreams multiplexed onto 1 task — and scaled to 4
-// tasks while data flows. The old generation's final progress markers hand
-// each substream's position to the new generation, so the output stays
+// Rescale demo (paper §5.3 skew tolerance, DESIGN.md §13): a *stateful*
+// counting stage is over-partitioned — 8 substreams multiplexed onto 1 task
+// — and scaled to 4 tasks while data flows. The old generation's final
+// progress marker hands over both the consumed positions and the keyed
+// state: the new tasks replay their substream ranges from the changelog, so
+// every per-user running count survives the move and the output stays
 // exactly-once across the reconfiguration.
+//
+// Run with --autoscale to let the engine do it on its own: the metrics
+// controller watches input lag and commit overruns, and a sustained flood
+// makes it widen the stage without any operator involvement.
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <sstream>
+#include <string>
 
 #include "src/core/engine.h"
 
 using namespace impeller;
 
-int main() {
-  EngineOptions options;
-  options.config.commit_interval = 50 * kMillisecond;
-  Engine engine(std::move(options));
+namespace {
 
+Result<QueryPlan> ClickPlan() {
   AggregateFn count;
   count.init = [] { return std::string("0"); };
   count.add = [](std::string_view acc, const StreamRecord&) {
@@ -22,83 +29,209 @@ int main() {
   };
   QueryBuilder qb("clicks");
   qb.Ingress("events");
-  qb.AddStage("parse", /*num_tasks=*/1)
-      .WithSubstreams(8)  // headroom: can rescale up to 8 tasks later
+  qb.AddStage("parse", 2)
       .ReadsFrom({"events"})
       .FlatMap([](StreamRecord r, std::vector<StreamRecord>* out) {
         std::istringstream s(r.value);
         std::string token;
         while (s >> token) {
-          out->push_back({token, "1", r.event_time});
+          // Keep the user as the key: the downstream count is keyed state
+          // that must migrate when the stage rescales.
+          out->push_back({std::string(r.key), token, r.event_time});
         }
       })
-      .WritesTo("tokens");
-  qb.AddStage("count", 2)
-      .ReadsFrom({"tokens"})
+      .WritesTo("actions");
+  qb.AddStage("count", /*num_tasks=*/1)
+      .WithSubstreams(8)  // headroom: can rescale up to 8 tasks later
+      .ReadsFrom({"actions"})
       .Aggregate("c", count)
       .Sink("clicks");
-  auto plan = qb.Build();
+  return qb.Build();
+}
+
+constexpr int kUsers = 20;
+
+uint32_t CountTasks(Engine& engine) {
+  for (const auto& s : engine.tasks()->CollectStageStats()) {
+    if (s.stage == "count") {
+      return s.current_tasks;
+    }
+  }
+  return 0;
+}
+
+// Drains committed egress and returns each user's final running count (the
+// maximum update ever committed for the key).
+std::map<std::string, long> FinalCounts(Engine& engine) {
+  std::map<std::string, long> counts;
+  for (uint32_t sub = 0; sub < 8; ++sub) {
+    auto consumer = engine.NewEgressConsumer("count", sub);
+    if (!consumer.ok()) {
+      continue;
+    }
+    auto records = (*consumer)->PollAll();
+    if (!records.ok()) {
+      continue;
+    }
+    for (const auto& r : *records) {
+      std::string key(r.data.key);
+      counts[key] =
+          std::max(counts[key], std::stol(std::string(r.data.value)));
+    }
+  }
+  return counts;
+}
+
+int RunManual(Engine& engine, IngressProducer& producer) {
+  Counter* out = engine.metrics()->GetCounter("out/clicks");
+  Clock* clock = engine.clock();
+  auto pump = [&](int batches) {
+    for (int b = 0; b < batches; ++b) {
+      for (int i = 0; i < kUsers; ++i) {
+        producer.Send("user" + std::to_string(i), "page click");
+      }
+      (void)producer.Flush();
+      clock->SleepFor(20 * kMillisecond);
+    }
+  };
+
+  std::printf("phase 1: one count task over 8 substreams\n");
+  pump(10);
+  std::printf("  %llu count updates committed so far\n",
+              static_cast<unsigned long long>(out->Get()));
+
+  std::printf("phase 2: load spike! rescaling count 1 -> 4 tasks\n");
+  std::printf("  (each user's running total migrates via the changelog)\n");
+  if (Status st = engine.tasks()->RescaleStage("count", 4); !st.ok()) {
+    std::fprintf(stderr, "rescale failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  count tasks now running: %u\n", CountTasks(engine));
+
+  pump(10);
+  // 20 users x 20 batches x 2 tokens = 800 updates in total.
+  TimeNs deadline = clock->Now() + 10 * kSecond;
+  while (out->Get() < kUsers * 20 * 2 && clock->Now() < deadline) {
+    clock->SleepFor(5 * kMillisecond);
+  }
+  engine.Stop();
+
+  // Every user clicked 40 times; a count that reset at the rescale would
+  // show 20, a double-counted one 60.
+  auto counts = FinalCounts(engine);
+  bool exact = true;
+  for (int i = 0; i < kUsers; ++i) {
+    if (counts["user" + std::to_string(i)] != 40) {
+      exact = false;
+    }
+  }
+  std::printf("final per-user counts: user0=%ld ... user%d=%ld -> %s\n",
+              counts["user0"], kUsers - 1,
+              counts["user" + std::to_string(kUsers - 1)],
+              exact ? "exactly-once across rescale: PASS" : "FAIL");
+  return exact ? 0 : 1;
+}
+
+int RunAutoscale(Engine& engine, IngressProducer& producer) {
+  Clock* clock = engine.clock();
+  std::printf("phase 1: trickle — the controller stays quiet\n");
+  uint64_t sent = 0;
+  for (int b = 0; b < 10; ++b) {
+    for (int i = 0; i < kUsers; ++i) {
+      producer.Send("user" + std::to_string(i), "page click");
+      ++sent;
+    }
+    (void)producer.Flush();
+    clock->SleepFor(20 * kMillisecond);
+  }
+
+  if (engine.autoscaler()->decisions_up() > 0) {
+    std::printf("  (controller already reacted during the trickle — a\n"
+                "   transient commit stall counts as pressure too)\n");
+  }
+  std::printf("phase 2: flood — waiting for the controller to react\n");
+  TimeNs ramp = clock->Now();
+  TimeNs deadline = ramp + 30 * kSecond;
+  while (engine.autoscaler()->decisions_up() == 0 &&
+         clock->Now() < deadline) {
+    for (int i = 0; i < 500; ++i) {
+      producer.Send("user" + std::to_string(sent % kUsers), "page click");
+      ++sent;
+    }
+    (void)producer.Flush();
+    clock->SleepFor(5 * kMillisecond);
+  }
+  if (engine.autoscaler()->decisions_up() == 0) {
+    std::fprintf(stderr, "controller never reacted to the flood\n");
+    return 1;
+  }
+  std::printf("  scale-up decided %.0f ms after the flood began\n",
+              (clock->Now() - ramp) / 1e6);
+  std::printf("  count tasks now running: %u\n", CountTasks(engine));
+
+  // Drain: every parsed token must land in exactly one user's count. The
+  // flood left a real backlog, so wait on progress, not a fixed deadline.
+  Counter* out = engine.metrics()->GetCounter("out/clicks");
+  uint64_t expected = sent * 2;
+  uint64_t last = 0;
+  TimeNs stalled_until = clock->Now() + 15 * kSecond;
+  while (out->Get() < expected) {
+    uint64_t cur = out->Get();
+    if (cur > last) {
+      last = cur;
+      stalled_until = clock->Now() + 15 * kSecond;
+    } else if (clock->Now() >= stalled_until) {
+      break;  // no forward progress: let the verdict below say so
+    }
+    clock->SleepFor(20 * kMillisecond);
+  }
+  engine.Stop();
+
+  uint64_t total = 0;
+  for (const auto& [user, n] : FinalCounts(engine)) {
+    total += static_cast<uint64_t>(n);
+  }
+  bool exact = total == expected;
+  std::printf("final: %llu clicks sent, %llu counted -> %s\n",
+              static_cast<unsigned long long>(expected),
+              static_cast<unsigned long long>(total),
+              exact ? "exactly-once across autoscale: PASS" : "FAIL");
+  return exact ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool autoscale = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--autoscale") == 0) {
+      autoscale = true;
+    }
+  }
+  EngineOptions options;
+  options.config.commit_interval = 50 * kMillisecond;
+  if (autoscale) {
+    options.config.autoscale.enabled = true;
+    // Deliberately patient: commit overruns count as up-pressure on every
+    // tick, so a hair-trigger config can scale on a transient stall during
+    // the trickle. Six consecutive 50 ms ticks demand a sustained backlog.
+    options.config.autoscale.tick_interval = 50 * kMillisecond;
+    options.config.autoscale.up_threshold = 500;
+    options.config.autoscale.up_ticks = 6;
+    options.config.autoscale.cooldown = 500 * kMillisecond;
+    options.config.autoscale.down_ticks = 100000;  // demo: no scale-down
+  }
+  Engine engine(std::move(options));
+  auto plan = ClickPlan();
   if (!plan.ok() || !engine.Submit(std::move(*plan)).ok()) {
     std::fprintf(stderr, "setup failed\n");
     return 1;
   }
   auto producer = engine.NewProducer("gen", "events");
-  Counter* out = engine.metrics()->GetCounter("out/clicks");
-  Clock* clock = engine.clock();
-
-  auto pump = [&](int batches) {
-    for (int b = 0; b < batches; ++b) {
-      for (int i = 0; i < 20; ++i) {
-        (*producer)->Send("user" + std::to_string(i), "page click");
-      }
-      (void)(*producer)->Flush();
-      clock->SleepFor(20 * kMillisecond);
-    }
-  };
-
-  std::printf("phase 1: one parse task over 8 substreams\n");
-  pump(10);
-  uint64_t before = out->Get();
-  std::printf("  %lu outputs so far\n", static_cast<unsigned long>(before));
-
-  std::printf("phase 2: load spike! rescaling parse 1 -> 4 tasks\n");
-  Status st = engine.tasks()->RescaleStage("parse", 4);
-  if (!st.ok()) {
-    std::fprintf(stderr, "rescale failed: %s\n", st.ToString().c_str());
+  if (!producer.ok()) {
+    std::fprintf(stderr, "producer failed\n");
     return 1;
   }
-  int parse_tasks = 0;
-  for (const auto& id : engine.tasks()->AllTaskIds()) {
-    TaskRuntime* rt = engine.tasks()->FindTask(id);
-    if (id.find("parse") != std::string::npos && rt != nullptr &&
-        !rt->finished()) {
-      parse_tasks++;
-    }
-  }
-  std::printf("  parse tasks now running: %d\n", parse_tasks);
-
-  pump(10);
-  TimeNs deadline = clock->Now() + 10 * kSecond;
-  while (out->Get() < 800 && clock->Now() < deadline) {
-    clock->SleepFor(5 * kMillisecond);
-  }
-  engine.Stop();
-
-  // 20 users x 20 batches x 2 tokens = 800 updates; per-key totals must be
-  // exactly 40 "page" + 40 "click" per user... aggregated by token:
-  std::map<std::string, long> counts;
-  for (uint32_t sub = 0; sub < 2; ++sub) {
-    auto consumer = engine.NewEgressConsumer("count", sub);
-    auto records = (*consumer)->PollAll();
-    for (const auto& r : *records) {
-      std::string key(r.data.key);
-      counts[key] = std::max(counts[key],
-                             std::stol(std::string(r.data.value)));
-    }
-  }
-  bool exact = counts["page"] == 400 && counts["click"] == 400;
-  std::printf("final counts: page=%ld click=%ld -> %s\n", counts["page"],
-              counts["click"],
-              exact ? "exactly-once across rescale: PASS" : "FAIL");
-  return exact ? 0 : 1;
+  return autoscale ? RunAutoscale(engine, **producer)
+                   : RunManual(engine, **producer);
 }

@@ -1,0 +1,142 @@
+#include "src/autoscale/autoscaler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace impeller {
+
+Autoscaler::Autoscaler(AutoscaleOptions options, Hooks hooks, Clock* clock,
+                       MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      hooks_(std::move(hooks)),
+      clock_(clock),
+      metrics_(metrics) {}
+
+Autoscaler::~Autoscaler() { Stop(); }
+
+void Autoscaler::Start() {
+  if (!hooks_.probe || !hooks_.rescale) {
+    return;
+  }
+  if (running_.exchange(true)) {
+    return;
+  }
+  thread_ = JoiningThread([this] { Loop(); });
+}
+
+void Autoscaler::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  thread_.Join();
+}
+
+void Autoscaler::Loop() {
+  while (running_.load()) {
+    clock_->SleepFor(options_.tick_interval);
+    if (!running_.load()) {
+      return;
+    }
+    RunOnce();
+  }
+}
+
+void Autoscaler::RunOnce() {
+  std::vector<StageStats> all = hooks_.probe();
+  TimeNs now = clock_->Now();
+  for (const StageStats& stats : all) {
+    Evaluate(stats, now);
+  }
+}
+
+void Autoscaler::Evaluate(const StageStats& stats, TimeNs now) {
+  if (stats.num_substreams <= 1) {
+    return;  // nothing to scale across
+  }
+  StageState& st = state_[stats.stage];
+  if (!st.seen) {
+    st.lag_ewma = static_cast<double>(stats.input_lag);
+    st.last_overruns = stats.commit_overruns;
+    st.seen = true;
+    return;  // the first sample only seeds the signal
+  }
+  double alpha = std::clamp(options_.ewma_alpha, 0.0, 1.0);
+  st.lag_ewma = alpha * static_cast<double>(stats.input_lag) +
+                (1.0 - alpha) * st.lag_ewma;
+  uint64_t overrun_delta = stats.commit_overruns >= st.last_overruns
+                               ? stats.commit_overruns - st.last_overruns
+                               : 0;  // counter reset across a restart
+  st.last_overruns = stats.commit_overruns;
+
+  uint32_t max_tasks = options_.max_tasks == 0
+                           ? stats.num_substreams
+                           : std::min(options_.max_tasks,
+                                      stats.num_substreams);
+  uint32_t min_tasks = std::max<uint32_t>(options_.min_tasks, 1);
+
+  // A stage missing its commit interval is overloaded even when the lag
+  // proxy looks tame (e.g. a few enormous records): overruns always count
+  // as up-pressure.
+  bool pressure_up =
+      st.lag_ewma > static_cast<double>(options_.up_threshold) ||
+      overrun_delta > 0;
+  bool pressure_down =
+      st.lag_ewma < static_cast<double>(options_.down_threshold) &&
+      overrun_delta == 0;
+
+  if (pressure_up) {
+    st.up_streak++;
+    st.down_streak = 0;
+  } else if (pressure_down) {
+    st.down_streak++;
+    st.up_streak = 0;
+  } else {
+    st.up_streak = 0;
+    st.down_streak = 0;
+    return;
+  }
+
+  bool cooled = now - st.last_rescale >= options_.cooldown;
+  if (pressure_up && st.up_streak >= options_.up_ticks && cooled &&
+      stats.current_tasks < max_tasks) {
+    uint32_t target = std::min(max_tasks, stats.current_tasks * 2);
+    LOG_INFO << "autoscale: " << stats.stage << " " << stats.current_tasks
+             << " -> " << target << " tasks (lag_ewma=" << st.lag_ewma
+             << ", overrun_delta=" << overrun_delta << ")";
+    Status s = hooks_.rescale(stats.stage, target);
+    if (s.ok()) {
+      ups_.fetch_add(1);
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("autoscale/up")->Add();
+      }
+      st.last_rescale = now;
+      st.up_streak = 0;
+      // Re-seed the signal: the backlog predates the new capacity.
+      st.lag_ewma = 0.0;
+    } else {
+      LOG_WARN << "autoscale: scale-up of " << stats.stage
+               << " failed: " << s.ToString();
+    }
+  } else if (pressure_down && st.down_streak >= options_.down_ticks &&
+             cooled && stats.current_tasks > min_tasks) {
+    uint32_t target = std::max(min_tasks, stats.current_tasks / 2);
+    LOG_INFO << "autoscale: " << stats.stage << " " << stats.current_tasks
+             << " -> " << target << " tasks (lag_ewma=" << st.lag_ewma
+             << ")";
+    Status s = hooks_.rescale(stats.stage, target);
+    if (s.ok()) {
+      downs_.fetch_add(1);
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("autoscale/down")->Add();
+      }
+      st.last_rescale = now;
+      st.down_streak = 0;
+    } else {
+      LOG_WARN << "autoscale: scale-down of " << stats.stage
+               << " failed: " << s.ToString();
+    }
+  }
+}
+
+}  // namespace impeller

@@ -1,0 +1,106 @@
+// Metrics-driven autoscaler: a control loop that watches per-stage load
+// signals (input lag, commit-interval overruns — the observability metrics
+// the engine already exports) and rescales stages through the task
+// manager's live-handoff path. The controller is deliberately simple and
+// conservative: an EWMA smooths the lag signal, hysteresis (consecutive
+// tick counts with separate up/down thresholds) filters transients, and a
+// per-stage cooldown bounds the rescale rate — a rescale costs a handoff
+// blackout, so flapping is worse than lagging slightly.
+//
+// The autoscaler knows nothing about tasks or the shared log; it sees only
+// StageStats and two callbacks, so it can be unit-tested with synthetic
+// probes and reused by tools.
+#ifndef IMPELLER_SRC_AUTOSCALE_AUTOSCALER_H_
+#define IMPELLER_SRC_AUTOSCALE_AUTOSCALER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/autoscale/stats.h"
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/common/threading.h"
+
+namespace impeller {
+
+struct AutoscaleOptions {
+  bool enabled = false;
+  // How often the controller samples StageStats.
+  DurationNs tick_interval = 100 * kMillisecond;
+  // EWMA smoothing factor for the lag signal (1.0 = no smoothing).
+  double ewma_alpha = 0.4;
+  // Smoothed lag above which a stage accumulates scale-up pressure, and
+  // below which it accumulates scale-down pressure (records of backlog,
+  // per the StageStats::input_lag proxy).
+  uint64_t up_threshold = 2000;
+  uint64_t down_threshold = 200;
+  // Consecutive ticks the signal must hold before acting (hysteresis).
+  // Scaling down is much lazier than scaling up: undershooting capacity
+  // costs latency immediately, overshooting only costs idle tasks.
+  uint32_t up_ticks = 3;
+  uint32_t down_ticks = 10;
+  // Minimum quiet period between rescales of the same stage.
+  DurationNs cooldown = 2 * kSecond;
+  // Task-count bounds; max_tasks == 0 means "the stage's substream count".
+  uint32_t min_tasks = 1;
+  uint32_t max_tasks = 0;
+};
+
+class Autoscaler {
+ public:
+  struct Hooks {
+    // Samples the current per-stage load (TaskManager::CollectStageStats).
+    std::function<std::vector<StageStats>()> probe;
+    // Applies a scaling decision (TaskManager::RescaleStage).
+    std::function<Status(const std::string& stage, uint32_t new_tasks)>
+        rescale;
+  };
+
+  Autoscaler(AutoscaleOptions options, Hooks hooks, Clock* clock,
+             MetricsRegistry* metrics = nullptr);
+  ~Autoscaler();
+
+  void Start();
+  void Stop();
+
+  // One controller tick: probe, update per-stage signals, maybe rescale.
+  // Public so tests can drive the loop deterministically without threads.
+  void RunOnce();
+
+  uint64_t decisions_up() const { return ups_.load(); }
+  uint64_t decisions_down() const { return downs_.load(); }
+
+ private:
+  struct StageState {
+    double lag_ewma = 0.0;
+    uint64_t last_overruns = 0;
+    uint32_t up_streak = 0;
+    uint32_t down_streak = 0;
+    TimeNs last_rescale = 0;
+    bool seen = false;
+  };
+
+  void Loop();
+  void Evaluate(const StageStats& stats, TimeNs now);
+
+  AutoscaleOptions options_;
+  Hooks hooks_;
+  Clock* clock_;
+  MetricsRegistry* metrics_;
+
+  std::map<std::string, StageState> state_;
+
+  std::atomic<uint64_t> ups_{0};
+  std::atomic<uint64_t> downs_{0};
+  std::atomic<bool> running_{false};
+  JoiningThread thread_;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_AUTOSCALE_AUTOSCALER_H_

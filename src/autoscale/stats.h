@@ -1,0 +1,29 @@
+// Per-stage load statistics sampled by the TaskManager and consumed by the
+// autoscaler. Kept dependency-free (plain ints/strings) so the autoscale
+// library only needs impeller_common.
+#ifndef IMPELLER_SRC_AUTOSCALE_STATS_H_
+#define IMPELLER_SRC_AUTOSCALE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace impeller {
+
+struct StageStats {
+  std::string stage;
+  uint32_t current_tasks = 0;
+  uint32_t num_substreams = 0;
+  bool stateful = false;
+  // Sum over the stage's input substreams of (tail LSN + 1 - committed
+  // consumed position). LSNs are global per shard, so this over-counts
+  // records of co-located tags — it is a backlog *proxy*: zero iff every
+  // input is fully consumed, and monotone in the real backlog.
+  uint64_t input_lag = 0;
+  // Cumulative count of commit rounds that fired at least one full
+  // commit interval late (the task could not keep up with its inputs).
+  uint64_t commit_overruns = 0;
+};
+
+}  // namespace impeller
+
+#endif  // IMPELLER_SRC_AUTOSCALE_STATS_H_

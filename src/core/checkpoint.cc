@@ -55,6 +55,24 @@ Result<ReplayStats> ReplayChangelog(
   }
   (void)until_txn_id;
   std::string tag = ChangeLogTag(task_id);
+  // Every record the replay must apply already has an assigned LSN <=
+  // until_lsn (the recovery cut was read, so everything it covers is
+  // sequenced), which makes the tag's sequenced tail a deterministic scan
+  // bound. Tags whose cut lives elsewhere (kafka-txn commits cut to the
+  // task log, not the changelog) would otherwise only terminate on a
+  // quiet-timeout — stalling every recovery by the full timeout, long
+  // enough for the failure detector to kill a live recovery.
+  Lsn tag_tail;
+  {
+    auto last = log->ReadLast(tag);
+    if (!last.ok()) {
+      if (last.status().code() == StatusCode::kNotFound) {
+        return stats;  // empty changelog: nothing to replay
+      }
+      return last.status();
+    }
+    tag_tail = last->lsn;
+  }
   struct Pending {
     uint64_t instance;
     ChangeLogBody body;
@@ -62,13 +80,11 @@ Result<ReplayStats> ReplayChangelog(
   std::vector<Pending> pending;
   Lsn cursor = from_lsn;
   while (true) {
-    // Every change-log record and cut covered by the recovery target sits
-    // at or below until_lsn (the task-log cut's LSN; a transaction's
-    // change-log commit record is batched before its task-log record).
-    // Records may still be propagating to readers, so wait briefly; a quiet
-    // timeout means the suffix is fully consumed — a transaction epoch that
-    // touched no state leaves no cut on this tag at all (§3.6 baseline), so
-    // requiring one would deadlock recovery.
+    if (cursor > tag_tail) {
+      return stats;  // sequenced suffix fully consumed
+    }
+    // The next record exists and is at most a delivery latency away from
+    // visibility, so the timeout is a safety net, not a barrier.
     auto entry = log->AwaitNext(tag, cursor, 250 * kMillisecond);
     if (!entry.ok()) {
       if (entry.status().code() == StatusCode::kDeadlineExceeded) {
@@ -107,7 +123,7 @@ Result<ReplayStats> ReplayChangelog(
         for (auto& p : pending) {
           if (p.instance == (*cut)->instance) {
             apply(ChangeLogView{p.body.store, p.body.key, p.body.is_delete,
-                                p.body.value});
+                                p.body.value, p.body.substream});
             stats.changes_applied++;
           } else if (p.instance > (*cut)->instance) {
             keep.push_back(std::move(p));

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/autoscale/autoscaler.h"
 #include "src/common/clock.h"
 #include "src/common/retry.h"
 #include "src/sharedlog/sharding/failover.h"
@@ -80,6 +81,10 @@ struct EngineConfig {
   // Whether sinks append results to an egress stream (paper measures
   // latency at emission from the output operator, before the push).
   bool write_egress = true;
+
+  // Metrics-driven autoscaling (disabled by default): the engine runs an
+  // Autoscaler that watches per-stage backlog and calls RescaleStage.
+  AutoscaleOptions autoscale;
 };
 
 inline const char* ProtocolKindName(ProtocolKind kind) {

@@ -38,12 +38,26 @@ Engine::~Engine() { Stop(); }
 Status Engine::Submit(QueryPlan plan) {
   IMPELLER_RETURN_IF_ERROR(manager_->Submit(std::move(plan)));
   submitted_ = true;
+  if (options_.config.autoscale.enabled) {
+    Autoscaler::Hooks hooks;
+    TaskManager* manager = manager_.get();
+    hooks.probe = [manager] { return manager->CollectStageStats(); };
+    hooks.rescale = [manager](const std::string& stage, uint32_t n) {
+      return manager->RescaleStage(stage, n);
+    };
+    autoscaler_ = std::make_unique<Autoscaler>(
+        options_.config.autoscale, std::move(hooks), clock_, &metrics_);
+    autoscaler_->Start();
+  }
   return OkStatus();
 }
 
 void Engine::Stop() {
   if (submitted_ && !stopped_) {
     stopped_ = true;
+    if (autoscaler_ != nullptr) {
+      autoscaler_->Stop();
+    }
     manager_->Stop();
     // Wake any reader still blocked in AwaitNext (no more data is coming),
     // then retire the scheduler workers.

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/autoscale/autoscaler.h"
 #include "src/core/commit_tracker.h"
 #include "src/core/config.h"
 #include "src/core/metrics.h"
@@ -62,6 +63,7 @@ class Engine {
   KvStore* checkpoint_store() { return kv_.get(); }
   MetricsRegistry* metrics() { return &metrics_; }
   TaskManager* tasks() { return manager_.get(); }
+  Autoscaler* autoscaler() { return autoscaler_.get(); }
   sched::WorkStealingScheduler* scheduler() { return sched_.get(); }
   Clock* clock() { return clock_; }
   const QueryPlan& plan() const { return manager_->plan(); }
@@ -76,6 +78,8 @@ class Engine {
   // must stop (and drain every ticket) before the scheduler dies.
   std::unique_ptr<sched::WorkStealingScheduler> sched_;
   std::unique_ptr<TaskManager> manager_;
+  // Stopped before the manager: its ticks call into RescaleStage.
+  std::unique_ptr<Autoscaler> autoscaler_;
   bool submitted_ = false;
   bool stopped_ = false;
 };

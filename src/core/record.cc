@@ -98,13 +98,14 @@ Result<DataView> DecodeDataView(std::string_view raw) {
 }
 
 std::string EncodeChangeLogBody(const ChangeLogBody& body) {
-  BinaryWriter w(body.store.size() + body.key.size() + body.value.size() + 8);
+  BinaryWriter w(body.store.size() + body.key.size() + body.value.size() + 13);
   w.WriteString(body.store);
   w.WriteString(body.key);
   w.WriteBool(body.is_delete);
   if (!body.is_delete) {
     w.WriteString(body.value);
   }
+  w.WriteVarU64(body.substream);
   return w.Take();
 }
 
@@ -118,6 +119,7 @@ Result<ChangeLogBody> DecodeChangeLogBody(std::string_view raw) {
   body.key = std::string(view->key);
   body.is_delete = view->is_delete;
   body.value = std::string(view->value);
+  body.substream = view->substream;
   return body;
 }
 
@@ -146,6 +148,11 @@ Result<ChangeLogView> DecodeChangeLogView(std::string_view raw) {
     }
     body.value = *value;
   }
+  auto substream = r.ReadVarU64();
+  if (!substream.ok()) {
+    return substream.status();
+  }
+  body.substream = static_cast<uint32_t>(*substream);
   return body;
 }
 
@@ -172,6 +179,7 @@ void AppendChangeLogBody(BinaryWriter& w, const ChangeLogView& body) {
   if (!body.is_delete) {
     w.WriteString(body.value);
   }
+  w.WriteVarU64(body.substream);
 }
 
 }  // namespace impeller

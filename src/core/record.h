@@ -71,11 +71,20 @@ struct DataView {
 
 Result<DataView> DecodeDataView(std::string_view raw);
 
+// Owner substream of a change-log entry: the input substream whose records
+// last wrote the key. Rescaling reassigns substreams to tasks, and the owner
+// recorded here is what lets a new generation claim exactly the entries of
+// its substream range (split/merge of keyed state, §5.3). kUnownedSubstream
+// marks entries written outside record processing (e.g. timer callbacks);
+// handoff attributes them to the writing task's default substream.
+inline constexpr uint32_t kUnownedSubstream = 0xFFFFFFFFu;
+
 struct ChangeLogView {
   std::string_view store;
   std::string_view key;
   bool is_delete = false;
   std::string_view value;  // empty when is_delete
+  uint32_t substream = kUnownedSubstream;  // owner substream of the key
 };
 
 Result<ChangeLogView> DecodeChangeLogView(std::string_view raw);
@@ -110,6 +119,7 @@ struct ChangeLogBody {
   std::string key;
   bool is_delete = false;
   std::string value;  // empty when is_delete
+  uint32_t substream = kUnownedSubstream;  // owner substream of the key
 };
 
 std::string EncodeChangeLogBody(const ChangeLogBody& body);

@@ -4,15 +4,18 @@
 
 namespace impeller {
 
-MapStateStore::MapStateStore(std::string name, ChangeSink sink)
-    : name_(std::move(name)), sink_(std::move(sink)) {}
+MapStateStore::MapStateStore(std::string name, ChangeSink sink,
+                             const uint32_t* ctx_substream)
+    : name_(std::move(name)),
+      sink_(std::move(sink)),
+      ctx_substream_(ctx_substream) {}
 
 std::optional<std::string> MapStateStore::Get(std::string_view key) const {
   auto it = data_.find(key);
   if (it == data_.end()) {
     return std::nullopt;
   }
-  return it->second;
+  return it->second.value;
 }
 
 std::optional<std::string_view> MapStateStore::GetView(
@@ -21,20 +24,39 @@ std::optional<std::string_view> MapStateStore::GetView(
   if (it == data_.end()) {
     return std::nullopt;
   }
-  return std::string_view(it->second);
+  return std::string_view(it->second.value);
+}
+
+std::optional<uint32_t> MapStateStore::GetOwner(std::string_view key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return std::nullopt;
+  }
+  return it->second.owner;
 }
 
 void MapStateStore::Put(std::string_view key, std::string_view value) {
-  auto [it, inserted] = data_.insert_or_assign(std::string(key),
-                                               std::string(value));
-  if (inserted) {
+  // Last writer wins: a write during record processing stamps the record's
+  // input substream; a write outside it (timers) keeps the existing owner,
+  // so timer-driven re-puts of a key never orphan it.
+  uint32_t ctx = ctx_substream_ != nullptr ? *ctx_substream_
+                                           : kUnownedSubstream;
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    it = data_.emplace(std::string(key), Entry{std::string(value), ctx})
+             .first;
     bytes_ += key.size() + value.size();
   } else {
     // Replaced: adjust for the value size delta only.
+    it->second.value.assign(value);
     bytes_ += value.size();
+    if (ctx != kUnownedSubstream) {
+      it->second.owner = ctx;
+    }
   }
   if (sink_) {
-    sink_(ChangeLogView{name_, key, /*is_delete=*/false, value});
+    sink_(ChangeLogView{name_, key, /*is_delete=*/false, value,
+                        it->second.owner});
   }
 }
 
@@ -43,10 +65,11 @@ void MapStateStore::Delete(std::string_view key) {
   if (it == data_.end()) {
     return;
   }
-  bytes_ -= std::min(bytes_, it->first.size() + it->second.size());
+  uint32_t owner = it->second.owner;
+  bytes_ -= std::min(bytes_, it->first.size() + it->second.value.size());
   data_.erase(it);
   if (sink_) {
-    sink_(ChangeLogView{name_, key, /*is_delete=*/true, {}});
+    sink_(ChangeLogView{name_, key, /*is_delete=*/true, {}, owner});
   }
 }
 
@@ -59,7 +82,7 @@ void MapStateStore::ScanPrefix(
     if (it->first.compare(0, prefix.size(), prefix) != 0) {
       break;
     }
-    if (!visit(it->first, it->second)) {
+    if (!visit(it->first, it->second.value)) {
       break;
     }
   }
@@ -72,7 +95,17 @@ void MapStateStore::ScanRange(
   auto it = data_.lower_bound(from);
   auto end = data_.lower_bound(to);
   for (; it != end; ++it) {
-    if (!visit(it->first, it->second)) {
+    if (!visit(it->first, it->second.value)) {
+      break;
+    }
+  }
+}
+
+void MapStateStore::ScanAll(
+    const std::function<bool(std::string_view, std::string_view, uint32_t)>&
+        visit) const {
+  for (const auto& [key, entry] : data_) {
+    if (!visit(key, entry.value, entry.owner)) {
       break;
     }
   }
@@ -93,13 +126,14 @@ void MapStateStore::ApplyChange(const ChangeLogView& change) {
   if (change.is_delete) {
     auto it = data_.find(change.key);
     if (it != data_.end()) {
-      bytes_ -= std::min(bytes_, it->first.size() + it->second.size());
+      bytes_ -= std::min(bytes_, it->first.size() + it->second.value.size());
       data_.erase(it);
     }
     return;
   }
-  auto [it, inserted] = data_.insert_or_assign(std::string(change.key),
-                                               std::string(change.value));
+  auto [it, inserted] = data_.insert_or_assign(
+      std::string(change.key),
+      Entry{std::string(change.value), change.substream});
   if (inserted) {
     bytes_ += change.key.size() + change.value.size();
   } else {
@@ -110,15 +144,21 @@ void MapStateStore::ApplyChange(const ChangeLogView& change) {
 std::string MapStateStore::SerializeSnapshot() const {
   BinaryWriter w(bytes_ + 16);
   w.WriteVarU64(data_.size());
-  for (const auto& [key, value] : data_) {
+  for (const auto& [key, entry] : data_) {
     w.WriteString(key);
-    w.WriteString(value);
+    w.WriteString(entry.value);
+    w.WriteVarU64(entry.owner);
   }
   return w.Take();
 }
 
 Status MapStateStore::RestoreSnapshot(std::string_view raw) {
   Clear();
+  return MergeSnapshot(raw, nullptr);
+}
+
+Status MapStateStore::MergeSnapshot(std::string_view raw,
+                                    const OwnerFilter& keep) {
   BinaryReader r(raw);
   auto n = r.ReadVarU64();
   if (!n.ok()) {
@@ -133,10 +173,31 @@ Status MapStateStore::RestoreSnapshot(std::string_view raw) {
     if (!value.ok()) {
       return value.status();
     }
+    auto owner_raw = r.ReadVarU64();
+    if (!owner_raw.ok()) {
+      return owner_raw.status();
+    }
+    uint32_t owner = static_cast<uint32_t>(*owner_raw);
+    if (keep && !keep(owner)) {
+      continue;
+    }
     bytes_ += key->size() + value->size();
-    data_.emplace(std::move(*key), std::move(*value));
+    data_.insert_or_assign(std::move(*key), Entry{std::move(*value), owner});
   }
   return OkStatus();
+}
+
+void MapStateStore::RetainOwned(const OwnerFilter& keep) {
+  for (auto it = data_.begin(); it != data_.end();) {
+    uint32_t owner = it->second.owner;
+    if (keep && !keep(owner)) {
+      bytes_ -= std::min(bytes_, it->first.size() + it->second.value.size());
+      it = data_.erase(it);
+    } else {
+      it->second.owner = owner;  // filter may have normalized it
+      ++it;
+    }
+  }
 }
 
 void MapStateStore::Clear() {

@@ -82,7 +82,8 @@ Status TaskManager::Submit(QueryPlan plan) {
         TaskEntry& entry = tasks_[task_id];
         entry.stage = plan_.FindStage(stage.name);
         entry.index = i;
-        if (checkpoint_worker_ != nullptr && stage.stateful) {
+        if (checkpoint_worker_ != nullptr && stage.stateful &&
+            checkpoint_registered_.insert(task_id).second) {
           checkpoint_worker_->RegisterTask(task_id);
         }
         IMPELLER_RETURN_IF_ERROR(SpawnLocked(entry, task_id));
@@ -106,8 +107,7 @@ Status TaskManager::Submit(QueryPlan plan) {
   return OkStatus();
 }
 
-Status TaskManager::SpawnLocked(TaskEntry& entry, const std::string& task_id,
-                                const std::map<std::string, Lsn>* initial_ends) {
+Status TaskManager::SpawnLocked(TaskEntry& entry, const std::string& task_id) {
   // Mint the instance number atomically in the log's metadata: this is what
   // fences any still-running older instance (§3.4).
   uint64_t instance = log_->MetaIncrement(InstanceMetaKey(task_id));
@@ -125,9 +125,11 @@ Status TaskManager::SpawnLocked(TaskEntry& entry, const std::string& task_id,
   wiring.txn_coordinator = txn_coordinator_.get();
   wiring.barrier_coordinator = barrier_coordinator_.get();
   wiring.gc = config_.enable_gc ? &gc_registry_ : nullptr;
-  if (initial_ends != nullptr) {
-    wiring.initial_input_ends = *initial_ends;
-  }
+  // Rescale handoff lives on the entry so a monitor restart mid-handoff
+  // re-passes it instead of losing the old generation's cursors and state.
+  wiring.initial_input_ends = entry.handoff_ends;
+  wiring.handoff_sources = entry.handoff_sources;
+  wiring.direct_handoff = entry.direct_handoff;
 
   if (entry.runtime != nullptr) {
     entry.old.emplace_back(std::move(entry.runtime), entry.ticket);
@@ -304,6 +306,55 @@ bool TaskManager::AllTasksIdle() const {
   return true;
 }
 
+namespace {
+
+// Newest committed cut on a task's log, or nullopt if it never committed.
+// The tail record is the common case; a non-cut tail (e.g. an aborted
+// transaction's control record left by a crash) falls back to a forward
+// scan so the handoff still finds the last *committed* positions.
+Result<std::optional<CutInfo>> LastCommittedCut(SharedLog* log,
+                                                const std::string& task_id) {
+  std::string tag = TaskLogTag(task_id);
+  auto last = log->ReadLast(tag);
+  if (!last.ok()) {
+    return std::optional<CutInfo>(std::nullopt);
+  }
+  auto env = DecodeEnvelope(last->payload);
+  if (!env.ok()) {
+    return env.status();
+  }
+  auto cut = ExtractCut(*env, last->lsn, task_id);
+  if (!cut.ok()) {
+    return cut.status();
+  }
+  if (cut->has_value()) {
+    return cut;
+  }
+  std::optional<CutInfo> best;
+  Lsn cursor = 0;
+  while (true) {
+    auto entry = log->ReadNext(tag, cursor);
+    if (!entry.ok()) {
+      break;
+    }
+    cursor = entry->lsn + 1;
+    auto e = DecodeEnvelope(entry->payload);
+    if (!e.ok()) {
+      return e.status();
+    }
+    auto c = ExtractCut(*e, entry->lsn, task_id);
+    if (!c.ok()) {
+      return c.status();
+    }
+    if (c->has_value()) {
+      best = std::move(**c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 Status TaskManager::RescaleStage(const std::string& stage_name,
                                  uint32_t new_tasks) {
   StageSpec* stage = nullptr;
@@ -315,35 +366,51 @@ Status TaskManager::RescaleStage(const std::string& stage_name,
   if (stage == nullptr) {
     return NotFoundError("unknown stage " + stage_name);
   }
-  if (stage->stateful) {
-    return InvalidArgumentError(
-        "stateful stages cannot rescale yet (keyed state does not migrate)");
-  }
   if (new_tasks == 0 || new_tasks > stage->num_substreams) {
     return InvalidArgumentError(
         "task count must be in [1, num_substreams] (" +
         std::to_string(stage->num_substreams) + ")");
   }
-  if (config_.protocol != ProtocolKind::kProgressMarking &&
-      config_.protocol != ProtocolKind::kKafkaTxn) {
-    return InvalidArgumentError(
-        "rescaling requires a marker protocol (substream handoff reads the "
-        "final progress markers)");
+  if (stopping_.load()) {
+    return UnavailableError("task manager is stopping");
+  }
+  // One rescale at a time: the autoscaler and tests may race.
+  std::lock_guard<std::mutex> rescale_lock(rescale_mu_);
+  uint32_t old_tasks = stage->num_tasks;
+  if (new_tasks == old_tasks) {
+    return OkStatus();
+  }
+  bool marker_mode = config_.protocol == ProtocolKind::kProgressMarking ||
+                     config_.protocol == ProtocolKind::kKafkaTxn;
+  bool aligned = config_.protocol == ProtocolKind::kAlignedCheckpoint;
+
+  // Under aligned checkpointing the coordinator's task list is about to
+  // change; pause it for the duration of the rescale so no checkpoint
+  // round spans the generation switch.
+  if (aligned && barrier_coordinator_ != nullptr) {
+    barrier_coordinator_->Stop();
   }
 
-  uint32_t old_tasks = stage->num_tasks;
   std::vector<std::string> old_ids;
   for (uint32_t i = 0; i < old_tasks; ++i) {
     old_ids.push_back(MakeTaskId(plan_.name, stage->name, i));
   }
 
   // 1. Stop the old generation gracefully: each task drains and commits a
-  //    final marker covering everything it consumed.
+  //    final cut covering everything it consumed. The entries are marked
+  //    retired for the duration so the monitor cannot resurrect an old
+  //    instance next to the new generation (a crash during the drain is
+  //    fine: the handoff then starts from the task's last *committed* cut
+  //    and the new generation redoes the uncommitted suffix).
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& id : old_ids) {
       auto it = tasks_.find(id);
-      if (it != tasks_.end() && it->second.runtime != nullptr) {
+      if (it == tasks_.end()) {
+        continue;
+      }
+      it->second.retired = true;
+      if (it->second.runtime != nullptr) {
         it->second.runtime->RequestStop();
       }
     }
@@ -355,44 +422,203 @@ Status TaskManager::RescaleStage(const std::string& stage_name,
     }
   }
 
-  // 2. Gather every substream's consumed end from the final markers.
+  // 2. Gather the handoff: every substream's consumed end, plus — for
+  //    stateful stages — the state-ownership transfer material.
   std::map<std::string, Lsn> ends;
-  for (const auto& id : old_ids) {
-    auto last = log_->ReadLast(TaskLogTag(id));
-    if (!last.ok()) {
-      continue;  // task never committed anything: its substreams start fresh
-    }
-    auto env = DecodeEnvelope(last->payload);
-    if (!env.ok()) {
-      return env.status();
-    }
-    auto cut = ExtractCut(*env, last->lsn, id);
-    if (!cut.ok()) {
-      return cut.status();
-    }
-    if (!cut->has_value()) {
-      continue;
-    }
-    for (const auto& [tag, end] : (*cut)->input_ends) {
-      Lsn& slot = ends[tag];
-      if (end != kInvalidLsn && (slot == 0 || end > slot)) {
-        slot = end;
+  std::vector<HandoffSource> sources;
+  std::shared_ptr<DirectHandoff> direct;
+  auto merge_ends = [&ends](const std::vector<std::pair<std::string, Lsn>>&
+                                input_ends) {
+    for (const auto& [tag, end] : input_ends) {
+      if (end == kInvalidLsn) {
+        continue;  // never consumed: do not plant a cursor at 0
       }
+      auto [it, inserted] = ends.try_emplace(tag, end);
+      if (!inserted && end > it->second) {
+        it->second = end;
+      }
+    }
+  };
+  if (marker_mode) {
+    // The changelog is the transfer medium: each old task's final cut names
+    // the LSN up to which the new generation replays its changelog.
+    for (uint32_t i = 0; i < old_tasks; ++i) {
+      const std::string& id = old_ids[i];
+      auto cut = LastCommittedCut(log_, id);
+      if (!cut.ok()) {
+        return cut.status();
+      }
+      if (!cut->has_value()) {
+        continue;  // never committed: its substreams start fresh
+      }
+      merge_ends((*cut)->input_ends);
+      if (stage->stateful) {
+        HandoffSource src;
+        src.task_id = id;
+        src.default_substream = i;
+        src.cut_lsn = (*cut)->lsn;
+        src.txn_id = (*cut)->txn_id;
+        sources.push_back(std::move(src));
+      }
+    }
+  } else {
+    // No changelog under aligned/unsafe: export the stopped runtimes' state
+    // (and commit-tracker continuation) in memory instead.
+    direct = std::make_shared<DirectHandoff>();
+    direct->completed_ckpt_at_handoff =
+        barrier_coordinator_ != nullptr
+            ? barrier_coordinator_->LatestCompleted()
+            : 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& id : old_ids) {
+      auto it = tasks_.find(id);
+      if (it == tasks_.end() || it->second.runtime == nullptr) {
+        continue;
+      }
+      DirectHandoff::Source src = it->second.runtime->ExportHandoff();
+      merge_ends(src.input_ends);
+      direct->sources.push_back(std::move(src));
     }
   }
 
   // 3. Spawn the new generation; substream ownership is recomputed from the
-  //    new task count, and the handed-off ends seed each reader's cursor.
-  std::lock_guard<std::mutex> lock(mu_);
-  stage->num_tasks = new_tasks;
-  for (uint32_t i = 0; i < new_tasks; ++i) {
-    std::string task_id = MakeTaskId(plan_.name, stage->name, i);
-    TaskEntry& entry = tasks_[task_id];
-    entry.stage = stage;
-    entry.index = i;
-    IMPELLER_RETURN_IF_ERROR(SpawnLocked(entry, task_id, &ends));
+  //    new task count, and the handoff seeds each task's wiring.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stage->num_tasks = new_tasks;
+    for (uint32_t i = 0; i < new_tasks; ++i) {
+      std::string task_id = MakeTaskId(plan_.name, stage->name, i);
+      TaskEntry& entry = tasks_[task_id];
+      entry.stage = stage;
+      entry.index = i;
+      entry.retired = false;
+      entry.handoff_ends = ends;
+      entry.handoff_sources = sources;
+      entry.direct_handoff = direct;
+      if (checkpoint_worker_ != nullptr && stage->stateful &&
+          checkpoint_registered_.insert(task_id).second) {
+        checkpoint_worker_->RegisterTask(task_id);
+      }
+      IMPELLER_RETURN_IF_ERROR(SpawnLocked(entry, task_id));
+    }
+    // Scale-down leftovers: keep the entries (their final cuts remain the
+    // handoff sources) but never restart them — a respawn at index >=
+    // num_tasks would own no substream and recompute the wrong range.
+    for (uint32_t i = new_tasks; i < old_tasks; ++i) {
+      auto it = tasks_.find(old_ids[i]);
+      if (it != tasks_.end()) {
+        it->second.retired = true;
+      }
+    }
+  }
+
+  if (aligned && barrier_coordinator_ != nullptr) {
+    // A consumer's barrier alignment counts one barrier per producer task,
+    // so the producer count baked into running consumers is now stale:
+    // bounce them (graceful stop + respawn recovers from the latest
+    // completed checkpoint; sequence dedup absorbs re-emissions).
+    std::set<std::string> consumer_stages;
+    for (const auto& [name, stream] : plan_.streams) {
+      if (stream.producer_stage == stage_name &&
+          !stream.consumer_stage.empty() &&
+          stream.consumer_stage != stage_name) {
+        consumer_stages.insert(stream.consumer_stage);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& consumer : consumer_stages) {
+      const StageSpec* cstage = plan_.FindStage(consumer);
+      if (cstage == nullptr) {
+        continue;
+      }
+      for (uint32_t i = 0; i < cstage->num_tasks; ++i) {
+        std::string id = MakeTaskId(plan_.name, cstage->name, i);
+        auto it = tasks_.find(id);
+        if (it == tasks_.end()) {
+          continue;
+        }
+        if (it->second.runtime != nullptr) {
+          it->second.runtime->RequestStop();
+        }
+        sched_->Wait(it->second.ticket);
+        IMPELLER_RETURN_IF_ERROR(SpawnLocked(it->second, id));
+      }
+    }
+  }
+
+  // Resume checkpointing against the new task list.
+  if (aligned && barrier_coordinator_ != nullptr && !stopping_.load()) {
+    std::vector<std::string> ingress_tags;
+    for (const auto& [name, stream] : plan_.streams) {
+      if (stream.external) {
+        for (uint32_t sub = 0; sub < stream.num_substreams; ++sub) {
+          ingress_tags.push_back(DataTag(name, sub));
+        }
+      }
+    }
+    std::vector<std::string> task_ids;
+    for (const auto& s : plan_.stages) {
+      for (uint32_t i = 0; i < s.num_tasks; ++i) {
+        task_ids.push_back(MakeTaskId(plan_.name, s.name, i));
+      }
+    }
+    barrier_coordinator_->Configure(std::move(ingress_tags),
+                                    std::move(task_ids));
+    barrier_coordinator_->Start();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(new_tasks > old_tasks ? "rescale/up"
+                                               : "rescale/down")
+        ->Add();
   }
   return OkStatus();
+}
+
+std::vector<StageStats> TaskManager::CollectStageStats() {
+  struct Accum {
+    StageStats stats;
+    std::map<std::string, Lsn> floors;
+  };
+  std::vector<Accum> accums;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& stage : plan_.stages) {
+      Accum a;
+      a.stats.stage = stage.name;
+      a.stats.current_tasks = stage.num_tasks;
+      a.stats.num_substreams = stage.num_substreams;
+      a.stats.stateful = stage.stateful;
+      for (uint32_t i = 0; i < stage.num_tasks; ++i) {
+        auto it = tasks_.find(MakeTaskId(plan_.name, stage.name, i));
+        if (it == tasks_.end() || it->second.runtime == nullptr) {
+          continue;
+        }
+        a.stats.commit_overruns += it->second.runtime->commit_overruns();
+        for (const auto& [tag, floor] : it->second.runtime->InputProgress()) {
+          a.floors[tag] = floor;  // substreams are task-disjoint
+        }
+      }
+      accums.push_back(std::move(a));
+    }
+  }
+  // Tail reads happen outside mu_: they hit the shared log, not the tasks.
+  std::vector<StageStats> out;
+  out.reserve(accums.size());
+  for (auto& a : accums) {
+    for (const auto& [tag, floor] : a.floors) {
+      auto last = log_->ReadLast(tag);
+      if (!last.ok()) {
+        continue;  // empty substream: no backlog
+      }
+      uint64_t consumed = floor == kInvalidLsn ? 0 : floor + 1;
+      uint64_t tail = last->lsn + 1;
+      if (tail > consumed) {
+        a.stats.input_lag += tail - consumed;
+      }
+    }
+    out.push_back(std::move(a.stats));
+  }
+  return out;
 }
 
 std::vector<const StageSpec*> TaskManager::TopologicalStageOrder() const {
@@ -450,7 +676,7 @@ void TaskManager::MonitorLoop() {
       TimeNs now = clock_->Now();
       for (auto& [id, entry] : tasks_) {
         TaskRuntime* rt = entry.runtime.get();
-        if (rt == nullptr) {
+        if (rt == nullptr || entry.retired) {
           continue;
         }
         if (rt->finished()) {
@@ -470,7 +696,7 @@ void TaskManager::MonitorLoop() {
       LOG_WARN << "task " << id << " presumed failed; restarting";
       std::lock_guard<std::mutex> lock(mu_);
       auto it = tasks_.find(id);
-      if (it != tasks_.end()) {
+      if (it != tasks_.end() && !it->second.retired) {
         Status st = SpawnLocked(it->second, id);
         if (!st.ok()) {
           LOG_ERROR << "restart of " << id << " failed: " << st.ToString();

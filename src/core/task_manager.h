@@ -14,9 +14,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/autoscale/stats.h"
 #include "src/common/threading.h"
 #include "src/core/checkpoint.h"
 #include "src/core/config.h"
@@ -64,13 +66,27 @@ class TaskManager {
   // instance, as a task manager with a stale failure verdict would.
   Status StartReplacement(const std::string& task_id);
 
-  // Rescales a *stateless* stage to `new_tasks` tasks (the paper's skew
-  // response, §5.3: substreams are fixed at plan time via WithSubstreams,
-  // so rescaling reassigns substreams to tasks without repartitioning).
-  // The old generation stops gracefully; its final markers hand each
-  // substream's consumed position to the new generation. Stateful stages
-  // are rejected: their keyed state cannot yet migrate between tasks.
+  // Rescales a stage to `new_tasks` tasks (the paper's skew response, §5.3:
+  // substreams are fixed at plan time via WithSubstreams, so rescaling
+  // reassigns substreams to tasks without repartitioning). The old
+  // generation stops gracefully; its final markers hand over both the
+  // consumed positions and — for stateful stages — ownership of each
+  // substream's keyed state: the new generation replays the old changelogs
+  // up to the handoff cuts, claims its substream range (split on scale-up,
+  // merge on scale-down), and re-appends the acquired state under its own
+  // id. Under aligned-checkpoint/unsafe (no changelog) the stopped tasks'
+  // state is exported in memory instead, and under aligned the barrier
+  // coordinator and downstream consumers are reconfigured for the new
+  // producer count. Supported under all four protocols; concurrent rescales
+  // serialize. Remaining unsupported case: under aligned checkpointing, a
+  // crash between the rescale and the next completed checkpoint loses the
+  // in-memory handoff (marker protocols recover it from the changelog).
   Status RescaleStage(const std::string& stage_name, uint32_t new_tasks);
+
+  // Per-stage backlog/backpressure snapshot for the autoscaler: current
+  // task count, summed input lag (log positions behind each input
+  // substream's tail) and cumulative commit-interval overruns.
+  std::vector<StageStats> CollectStageStats();
 
   // Current (newest-instance) runtime for a task; nullptr when unknown.
   TaskRuntime* FindTask(const std::string& task_id);
@@ -95,12 +111,20 @@ class TaskManager {
     sched::Ticket ticket = sched::kInvalidTicket;
     // Superseded instances kept alive until their entities finish (zombies).
     std::vector<std::pair<std::unique_ptr<TaskRuntime>, sched::Ticket>> old;
+    // Scale-down leftovers (index >= the stage's current task count): kept
+    // for bookkeeping but never restarted by the monitor.
+    bool retired = false;
+    // Rescale handoff, retained so monitor restarts re-pass it: a crash
+    // mid-handoff (or any time before the handoff seals) must not lose the
+    // old generation's cursors and state sources.
+    std::map<std::string, Lsn> handoff_ends;
+    std::vector<HandoffSource> handoff_sources;
+    std::shared_ptr<const DirectHandoff> direct_handoff;
   };
 
-  // Spawns a new instance for the entry (caller holds mu_). `initial_ends`
-  // optionally seeds input cursors (rescale handoff).
-  Status SpawnLocked(TaskEntry& entry, const std::string& task_id,
-                     const std::map<std::string, Lsn>* initial_ends = nullptr);
+  // Spawns a new instance for the entry (caller holds mu_); the entry's
+  // retained handoff info (if any) seeds the new instance's wiring.
+  Status SpawnLocked(TaskEntry& entry, const std::string& task_id);
   // Home-worker hint: log shard of the task's first owned input substream
   // (task i of T owns substreams s % T == i); falls back to the task index.
   uint32_t TaskAffinity(const TaskEntry& entry) const;
@@ -119,6 +143,11 @@ class TaskManager {
 
   mutable std::mutex mu_;
   std::map<std::string, TaskEntry> tasks_;
+  // Serializes RescaleStage calls (the autoscaler and tests may race).
+  std::mutex rescale_mu_;
+  // Task ids already registered with the checkpoint worker (RegisterTask
+  // does not dedup; scale-up must only register genuinely new ids).
+  std::set<std::string> checkpoint_registered_;
 
   std::unique_ptr<TxnCoordinator> txn_coordinator_;
   std::unique_ptr<BarrierCoordinator> barrier_coordinator_;

@@ -84,7 +84,8 @@ MapStateStore* TaskRuntime::GetStore(std::string_view name) {
     if (capture_changes_) {
       sink = [this](const ChangeLogView& change) { OnStateChange(change); };
     }
-    slot = std::make_unique<MapStateStore>(std::string(name), std::move(sink));
+    slot = std::make_unique<MapStateStore>(std::string(name), std::move(sink),
+                                           &current_substream_);
   }
   return slot.get();
 }
@@ -199,6 +200,7 @@ Status TaskRuntime::Recover() {
       readers_.push_back(std::make_unique<SubstreamReader>(
           wiring_.log, DataTag(stream_name, sub), static_cast<uint32_t>(i),
           &tracker_, /*start_lsn=*/0));
+      reader_substreams_.push_back(sub);
       input_external_.push_back(stream.external);
       if (stream.external) {
         expected_barriers_.push_back(1);  // the coordinator's barrier
@@ -232,11 +234,28 @@ Status TaskRuntime::Recover() {
     case ProtocolKind::kKafkaTxn:
       st = RecoverFromMarker();
       break;
-    case ProtocolKind::kAlignedCheckpoint:
-      st = RecoverAligned();
+    case ProtocolKind::kAlignedCheckpoint: {
+      bool use_handoff = wiring_.direct_handoff != nullptr;
+      if (use_handoff) {
+        // A checkpoint completed after the rescale supersedes the handoff:
+        // its snapshot (state + cursors + out_seq) is the newer recovery
+        // point for this task id.
+        auto id = BarrierCoordinator::ReadCompletedId(
+            wiring_.checkpoint_store, wiring_.plan->name);
+        if (id.ok() && *id > wiring_.direct_handoff->completed_ckpt_at_handoff) {
+          use_handoff = false;
+        }
+      }
+      st = use_handoff ? RestoreDirectHandoff() : RecoverAligned();
       break;
+    }
     case ProtocolKind::kUnsafe:
-      break;  // no progress tracking: start from the beginning
+      // No progress tracking: start from the beginning — unless a rescale
+      // handed over the old generation's state and cursors.
+      if (wiring_.direct_handoff != nullptr) {
+        st = RestoreDirectHandoff();
+      }
+      break;
   }
   if (!st.ok()) {
     return st;
@@ -255,6 +274,13 @@ Status TaskRuntime::Recover() {
     }
   }
 
+  // Stateful rescale under a marker protocol: claim this task's substream
+  // range from the old generation's changelogs. Skipped once our own first
+  // post-rescale cut sealed the handoff.
+  if (capture_changes_ && HandoffPending()) {
+    IMPELLER_RETURN_IF_ERROR(PerformMarkerHandoff());
+  }
+
   if (wiring_.gc != nullptr && capture_changes_ &&
       !wiring_.config.enable_checkpointing) {
     // Without checkpointing the entire change log must survive.
@@ -262,6 +288,7 @@ Status TaskRuntime::Recover() {
   }
   last_input_ends_ = CurrentInputEnds();
   PublishGcFloors();
+  PublishProgress();
   recovery_stats_.duration = wiring_.clock->Now() - t0;
   return OkStatus();
 }
@@ -287,6 +314,7 @@ Status TaskRuntime::RecoverFromMarker() {
   }
   const CutInfo& info = **cut;
   recovery_stats_.performed = true;
+  recovered_cut_lsn_ = info.lsn;
   marker_seq_ = info.marker_seq + 1;
 
   for (auto& reader : readers_) {
@@ -303,6 +331,17 @@ Status TaskRuntime::RecoverFromMarker() {
   if (!capture_changes_) {
     return OkStatus();
   }
+  if (HandoffPending()) {
+    // State comes from the handoff sources' changelogs, not our own
+    // pre-rescale log (substream ownership moved between tasks).
+    return OkStatus();
+  }
+
+  // Entries for substreams this generation does not own are someone else's
+  // after a rescale; unowned entries belong to our own default substream.
+  OwnerFilter keep_owned = [this](uint32_t& owner) {
+    return ClaimOwner(owner, wiring_.index);
+  };
 
   // Restore from the latest checkpoint, then replay the remaining change
   // log up to the marker (paper §3.3.4 / §3.5).
@@ -323,7 +362,7 @@ Status TaskRuntime::RecoverFromMarker() {
           if (name.rfind(kStorePrefix, 0) == 0) {
             IMPELLER_RETURN_IF_ERROR(
                 GetStore(name.substr(kStorePrefix.size()))
-                    ->RestoreSnapshot(data));
+                    ->MergeSnapshot(data, keep_owned));
           }
         }
         replay_from = meta->next_replay_lsn;
@@ -335,7 +374,13 @@ Status TaskRuntime::RecoverFromMarker() {
     auto stats = ReplayChangelog(
         wiring_.log, task_id_, replay_from, info.lsn, info.txn_id,
         [this](const ChangeLogView& change) {
-          GetStore(change.store)->ApplyChange(change);
+          uint32_t owner = change.substream;
+          if (!ClaimOwner(owner, wiring_.index)) {
+            return;
+          }
+          ChangeLogView normalized = change;
+          normalized.substream = owner;
+          GetStore(change.store)->ApplyChange(normalized);
         });
     if (!stats.ok()) {
       return stats.status();
@@ -344,6 +389,169 @@ Status TaskRuntime::RecoverFromMarker() {
     recovery_stats_.changes_applied = stats->changes_applied;
   }
   return OkStatus();
+}
+
+bool TaskRuntime::HandoffPending() const {
+  if (wiring_.handoff_sources.empty()) {
+    return false;
+  }
+  if (recovered_cut_lsn_ == kInvalidLsn) {
+    return true;  // no post-rescale cut of our own yet
+  }
+  Lsn fence = 0;
+  for (const auto& src : wiring_.handoff_sources) {
+    if (src.cut_lsn != kInvalidLsn && src.cut_lsn > fence) {
+      fence = src.cut_lsn;
+    }
+  }
+  // Our first post-rescale cut is appended after every source's final cut,
+  // so a higher own-cut LSN proves the handoff was sealed.
+  return recovered_cut_lsn_ <= fence;
+}
+
+Status TaskRuntime::PerformMarkerHandoff() {
+  TRACE_SPAN("task", "rescale_handoff");
+  recovery_stats_.performed = true;
+  for (const auto& src : wiring_.handoff_sources) {
+    // A multi-source handoff replays several changelogs back to back; keep
+    // the failure detector fed so it cannot mistake a long acquisition for
+    // a dead task and fence the recovery mid-flight.
+    heartbeat_.store(wiring_.clock->Now(), std::memory_order_relaxed);
+    OwnerFilter keep = [this, &src](uint32_t& owner) {
+      return ClaimOwner(owner, src.default_substream);
+    };
+    Lsn replay_from = 0;
+    // Checkpoint acceleration: the source's checkpoint replaces the prefix
+    // of its changelog as long as it does not outrun the source's final cut.
+    auto meta_raw =
+        wiring_.checkpoint_store->Get(CheckpointMetaKey(src.task_id));
+    if (meta_raw.ok() && src.cut_lsn != kInvalidLsn) {
+      auto meta = DecodeCheckpointMeta(*meta_raw);
+      if (meta.ok() && meta->cut_lsn != kInvalidLsn &&
+          meta->cut_lsn <= src.cut_lsn) {
+        auto blob =
+            wiring_.checkpoint_store->Get(CheckpointBlobKey(src.task_id));
+        if (blob.ok()) {
+          auto sections = DecodeSnapshot(*blob);
+          if (!sections.ok()) {
+            return sections.status();
+          }
+          for (const auto& [name, data] : *sections) {
+            constexpr std::string_view kStorePrefix = "store/";
+            if (name.rfind(kStorePrefix, 0) == 0) {
+              IMPELLER_RETURN_IF_ERROR(
+                  GetStore(name.substr(kStorePrefix.size()))
+                      ->MergeSnapshot(data, keep));
+            }
+          }
+          replay_from = meta->next_replay_lsn;
+          recovery_stats_.used_checkpoint = true;
+        }
+      }
+    }
+    if (src.cut_lsn != kInvalidLsn && replay_from <= src.cut_lsn) {
+      auto stats = ReplayChangelog(
+          wiring_.log, src.task_id, replay_from, src.cut_lsn, src.txn_id,
+          [this, &src](const ChangeLogView& change) {
+            // A flood-era changelog can take longer than the failure
+            // timeout to replay; stamp per entry so the monitor never
+            // fences a live acquisition.
+            heartbeat_.store(wiring_.clock->Now(),
+                             std::memory_order_relaxed);
+            uint32_t owner = change.substream;
+            if (!ClaimOwner(owner, src.default_substream)) {
+              return;
+            }
+            ChangeLogView normalized = change;
+            normalized.substream = owner;
+            GetStore(change.store)->ApplyChange(normalized);
+          });
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      recovery_stats_.changelog_entries_read += stats->entries_read;
+      recovery_stats_.changes_applied += stats->changes_applied;
+    }
+  }
+  // Ownership transfer: the acquired state is durable only in the sources'
+  // changelogs, so re-append it under our own id. Our first cut then seals
+  // the handoff; a crash before it leaves these appends uncommitted (no
+  // covering cut — replay discards them) and a restart redoes the handoff
+  // from the sources.
+  if (MaybeInjectCrash("task/rescale/handoff")) {
+    return UnavailableError("injected crash mid-handoff");
+  }
+  uint64_t bytes = 0;
+  for (const auto& [name, store] : stores_) {
+    store->ScanAll(
+        [&](std::string_view key, std::string_view value, uint32_t owner) {
+          OnStateChange(ChangeLogView{name, key, /*is_delete=*/false, value,
+                                      owner});
+          bytes += key.size() + value.size();
+          return true;
+        });
+  }
+  recovery_stats_.handoff_state_bytes = bytes;
+  if (wiring_.metrics != nullptr) {
+    wiring_.metrics->GetCounter("rescale/handoffs")->Add();
+    wiring_.metrics->GetCounter("rescale/state_bytes")->Add(bytes);
+  }
+  return OkStatus();
+}
+
+Status TaskRuntime::RestoreDirectHandoff() {
+  const DirectHandoff& handoff = *wiring_.direct_handoff;
+  for (const auto& src : handoff.sources) {
+    OwnerFilter keep = [this, &src](uint32_t& owner) {
+      return ClaimOwner(owner, src.default_substream);
+    };
+    for (const auto& [name, snap] : src.stores) {
+      IMPELLER_RETURN_IF_ERROR(GetStore(name)->MergeSnapshot(snap, keep));
+    }
+    if (src.task_id == task_id_) {
+      // Continue the old generation's output sequence and dedup map: the
+      // downstream duplicate filter is keyed (substream, producer) without
+      // the instance, so a reset sequence would be swallowed silently.
+      IMPELLER_RETURN_IF_ERROR(tracker_.RestoreSeqMap(src.seqmap));
+      out_seq_ = src.out_seq;
+    }
+  }
+  last_completed_ckpt_ = handoff.completed_ckpt_at_handoff;
+  recovery_stats_.performed = true;
+  return OkStatus();
+}
+
+DirectHandoff::Source TaskRuntime::ExportHandoff() const {
+  DirectHandoff::Source src;
+  src.task_id = task_id_;
+  src.default_substream = wiring_.index;
+  for (const auto& [name, store] : stores_) {
+    src.stores[name] = store->SerializeSnapshot();
+  }
+  src.seqmap = tracker_.SerializeSeqMap();
+  src.out_seq = out_seq_;
+  src.input_ends = CurrentInputEnds();
+  return src;
+}
+
+std::vector<std::pair<std::string, Lsn>> TaskRuntime::InputProgress() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  return progress_;
+}
+
+void TaskRuntime::PublishProgress() {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  if (progress_.size() != readers_.size()) {
+    progress_.clear();
+    progress_.reserve(readers_.size());
+    for (const auto& reader : readers_) {
+      progress_.emplace_back(reader->tag(), reader->committed_floor());
+    }
+    return;
+  }
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    progress_[i].second = readers_[i]->committed_floor();
+  }
 }
 
 Status TaskRuntime::RecoverAligned() {
@@ -466,7 +674,11 @@ void TaskRuntime::ProcessReady(size_t slot, ReadyRecord record) {
   max_event_time_ = std::max(max_event_time_, rec.event_time);
   records_processed_.fetch_add(1, std::memory_order_relaxed);
   epoch_dirty_ = true;
+  // State written while this record runs is owned by its input substream
+  // (the ownership unit of rescaling); timer writes stay unowned.
+  current_substream_ = reader_substreams_[slot];
   RunRecord(record.input, std::move(rec));
+  current_substream_ = kUnownedSubstream;
 }
 
 void TaskRuntime::RunRecord(uint32_t input, StreamRecord record) {
@@ -882,6 +1094,7 @@ sched::StepResult TaskRuntime::StepRunning() {
     run_status_ = polled.status();
     return FinishEpilogue();
   }
+  PublishProgress();
   TimeNs now = wiring_.clock->Now();
   if (now >= next_timer_) {
     RunTimers(now);
@@ -897,6 +1110,14 @@ sched::StepResult TaskRuntime::StepRunning() {
   }
   now = wiring_.clock->Now();
   if (now >= next_commit_) {
+    if (now - next_commit_ >= cfg.commit_interval) {
+      // A full interval late: the task cannot keep its commit cadence —
+      // the backpressure signal the autoscaler watches.
+      commit_overruns_.fetch_add(1, std::memory_order_relaxed);
+      if (wiring_.metrics != nullptr) {
+        wiring_.metrics->GetCounter("task/commit_overruns")->Add();
+      }
+    }
     run_status_ = Commit();
     if (!run_status_.ok()) {
       return FinishEpilogue();
@@ -910,6 +1131,7 @@ sched::StepResult TaskRuntime::StepRunning() {
 }
 
 sched::StepResult TaskRuntime::StepDraining() {
+  const EngineConfig& cfg = wiring_.config;
   heartbeat_.store(wiring_.clock->Now(), std::memory_order_relaxed);
   TimeNs now = wiring_.clock->Now();
   if (Crashed() || !run_status_.ok() || now >= drain_deadline_ ||
@@ -921,11 +1143,36 @@ sched::StepResult TaskRuntime::StepDraining() {
     run_status_ = polled.status();
     return FinishWithTail();
   }
+  // Keep the output cadence alive while draining: a rescale drain against a
+  // live producer can last the full deadline (the inputs never go quiet),
+  // and withholding every flush/commit until FinishWithTail would stall
+  // downstream consumers for that whole window. Intermediate commits are
+  // ordinary commits — the final cut still covers whatever remains.
+  now = wiring_.clock->Now();
+  if (now >= next_timer_) {
+    RunTimers(now);
+    next_timer_ = now + cfg.timer_interval;
+  }
+  bool force_flush = now >= next_flush_;
+  if (force_flush) {
+    next_flush_ = now + cfg.output_flush_interval;
+  }
+  run_status_ = MaybeFlush(force_flush);
+  if (!run_status_.ok()) {
+    return FinishWithTail();
+  }
+  if (wiring_.clock->Now() >= next_commit_) {
+    run_status_ = Commit();
+    if (!run_status_.ok()) {
+      return FinishWithTail();
+    }
+    next_commit_ = wiring_.clock->Now() + cfg.commit_interval;
+  }
   if (*polled > 0) {
     drain_quiet_until_ = wiring_.clock->Now() + drain_quiet_;
     return sched::StepResult::Ready();
   }
-  return sched::StepResult::Idle(wiring_.config.poll_interval);
+  return sched::StepResult::Idle(cfg.poll_interval);
 }
 
 sched::StepResult TaskRuntime::FinishWithTail() {

@@ -45,6 +45,38 @@ namespace impeller {
 class TxnCoordinator;
 class BarrierCoordinator;
 
+// One source task of a stateful rescale handoff under a marker protocol:
+// the new generation replays the source's changelog up to its final cut and
+// claims the entries of its own substream range. `default_substream`
+// attributes unowned entries (timer writes) to the source's own substream.
+struct HandoffSource {
+  std::string task_id;
+  uint32_t default_substream = 0;
+  Lsn cut_lsn = kInvalidLsn;  // LSN of the source's final cut
+  uint64_t txn_id = 0;        // kafka-txn: committing transaction id
+};
+
+// Direct state handoff for protocols without a changelog (aligned
+// checkpointing / unsafe): the manager exports each gracefully stopped
+// task's stores and counters in memory and hands them to the new
+// generation. An overlapping task id continues its output sequence — the
+// downstream dedup map is keyed (substream, producer) without the instance,
+// so a reset sequence would be swallowed as duplicates.
+struct DirectHandoff {
+  struct Source {
+    std::string task_id;
+    uint32_t default_substream = 0;
+    std::map<std::string, std::string> stores;  // name -> snapshot
+    std::string seqmap;
+    uint64_t out_seq = 0;
+    std::vector<std::pair<std::string, Lsn>> input_ends;
+  };
+  std::vector<Source> sources;
+  // Aligned: the latest completed checkpoint id when the handoff was taken.
+  // A later completed checkpoint supersedes the handoff on recovery.
+  uint64_t completed_ckpt_at_handoff = 0;
+};
+
 struct TaskWiring {
   const QueryPlan* plan = nullptr;
   const StageSpec* stage = nullptr;
@@ -62,6 +94,14 @@ struct TaskWiring {
   // gathered from the previous generation's final markers; overrides the
   // marker-derived cursors of this task's own log during recovery.
   std::map<std::string, Lsn> initial_input_ends;
+  // Stateful rescale, marker protocols: old-generation tasks whose
+  // changelogs hold this task's acquired substream ranges. Retained by the
+  // manager and re-passed on restarts until the handoff is sealed by this
+  // task's first post-rescale cut.
+  std::vector<HandoffSource> handoff_sources;
+  // Stateful rescale, aligned/unsafe: in-memory state export of the stopped
+  // old generation.
+  std::shared_ptr<const DirectHandoff> direct_handoff;
 };
 
 struct RecoveryStats {
@@ -70,6 +110,9 @@ struct RecoveryStats {
   DurationNs duration = 0;
   uint64_t changelog_entries_read = 0;
   uint64_t changes_applied = 0;
+  // Stateful rescale: bytes of keyed state this task acquired and
+  // re-appended into its own changelog during the handoff.
+  uint64_t handoff_state_bytes = 0;
 };
 
 class TaskRuntime final : public OperatorContext {
@@ -104,6 +147,18 @@ class TaskRuntime final : public OperatorContext {
   RecoveryStats recovery_stats() const { return recovery_stats_; }
   uint64_t records_processed() const { return records_processed_.load(); }
   uint64_t markers_written() const { return markers_written_.load(); }
+  // Commits that landed at least a full interval late (backpressure signal
+  // for the autoscaler).
+  uint64_t commit_overruns() const { return commit_overruns_.load(); }
+
+  // Thread-safe snapshot of per-input-substream consumed floors
+  // (tag -> committed floor LSN); the autoscaler's lag probe. Empty until
+  // recovery completes.
+  std::vector<std::pair<std::string, Lsn>> InputProgress() const;
+
+  // Exports stores + counters for a direct (aligned/unsafe) rescale
+  // handoff. Call only after the task finished gracefully.
+  DirectHandoff::Source ExportHandoff() const;
 
   // --- OperatorContext ---
   MapStateStore* GetStore(std::string_view name) override;
@@ -126,6 +181,30 @@ class TaskRuntime final : public OperatorContext {
   Status Recover();
   Status RecoverFromMarker();
   Status RecoverAligned();
+
+  // Substream ownership under the current generation: task i of T owns
+  // every substream s with s % T == i.
+  bool OwnsSubstream(uint32_t sub) const {
+    return sub % wiring_.stage->num_tasks == wiring_.index;
+  }
+  // Keeps entries of this task's substream range; unowned entries are
+  // attributed to `default_substream` (and normalized to it).
+  bool ClaimOwner(uint32_t& owner, uint32_t default_substream) const {
+    if (owner == kUnownedSubstream) {
+      owner = default_substream;
+    }
+    return OwnsSubstream(owner);
+  }
+  // A handoff is pending until this task commits its first post-rescale cut
+  // (whose LSN then exceeds every source's fence).
+  bool HandoffPending() const;
+  // Stateful rescale: replays each old-generation source's changelog up to
+  // its final cut, claims this task's substream range, and re-appends the
+  // acquired state into its own changelog (sealed by the first cut).
+  Status PerformMarkerHandoff();
+  // Aligned/unsafe: restores the manager's in-memory state export.
+  Status RestoreDirectHandoff();
+  void PublishProgress();
 
   // Reads from every input substream; returns entries consumed.
   Result<size_t> PollInputs();
@@ -195,6 +274,10 @@ class TaskRuntime final : public OperatorContext {
   std::atomic<TimeNs> heartbeat_{0};
   std::atomic<uint64_t> records_processed_{0};
   std::atomic<uint64_t> markers_written_{0};
+  std::atomic<uint64_t> commit_overruns_{0};
+
+  mutable std::mutex progress_mu_;
+  std::vector<std::pair<std::string, Lsn>> progress_;  // guarded by above
 
   mutable std::mutex status_mu_;
   Status final_status_;
@@ -209,6 +292,15 @@ class TaskRuntime final : public OperatorContext {
 
   CommitTracker tracker_;
   std::vector<std::unique_ptr<SubstreamReader>> readers_;
+  std::vector<uint32_t> reader_substreams_;  // slot -> substream index
+  // Input substream of the record currently being processed; stamps state
+  // ownership via each store's ctx pointer. kUnownedSubstream outside
+  // record processing (timers, replay).
+  uint32_t current_substream_ = kUnownedSubstream;
+  // LSN of this task's own recovery cut (kInvalidLsn when fresh); against
+  // the handoff sources' fence it decides whether a pending handoff was
+  // already sealed by a post-rescale commit.
+  Lsn recovered_cut_lsn_ = kInvalidLsn;
   std::vector<bool> input_external_;
   std::vector<uint32_t> expected_barriers_;
   SubstreamReader::Hooks reader_hooks_;

@@ -401,5 +401,194 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, ShardKillTest,
                                            ProtocolKind::kUnsafe),
                          ShardKillTestName);
 
+// ISSUE 10 satellite: crash mid-handoff during a stateful rescale. Under
+// the marker protocols the new generation acquires keyed state by replaying
+// the old generation's changelogs up to their final cuts, then transfers
+// ownership by re-appending the acquired state under its own id; only its
+// first commit cut seals the handoff. The injected crash lands exactly
+// between acquisition and transfer ("task/rescale/handoff"). The restart
+// must redo the whole handoff from the sources — the acquired-but-untransferred
+// state was never covered by a cut, so nothing of the crashed attempt may
+// leak into the committed stream.
+constexpr int kHandoffKeys = 24;
+constexpr int kHandoffRounds = 3;  // per phase; two phases around the rescale
+constexpr size_t kPhaseLines =
+    static_cast<size_t>(kHandoffKeys) * kHandoffRounds;
+
+// Running per-key count whose stateful stage is over-partitioned (6
+// substreams on 2 tasks) and therefore rescalable in both directions. Each
+// input record emits one update (key, running count), so the committed
+// output of the whole run is a fixed multiset — counts 1..6 per key — no
+// matter which generation or task emitted each line.
+Result<QueryPlan> HandoffCountPlan() {
+  AggregateFn count;
+  count.init = [] { return std::string("0"); };
+  count.add = [](std::string_view acc, const StreamRecord&) {
+    return std::to_string(std::stoll(std::string(acc)) + 1);
+  };
+  QueryBuilder qb("rh");
+  qb.Ingress("nums");
+  qb.AddStage("count", kTasksPerStage)
+      .WithSubstreams(6)
+      .ReadsFrom({"nums"})
+      .Aggregate("c", count)
+      .WritesTo("counts");
+  qb.AddStage("fmt", kTasksPerStage)
+      .ReadsFrom({"counts"})
+      .Map([](StreamRecord r) { return r; })
+      .Sink("rh");
+  return qb.Build();
+}
+
+Result<std::vector<std::string>> CollectHandoffCommitted(Engine& engine) {
+  std::vector<std::string> lines;
+  for (uint32_t sub = 0; sub < kTasksPerStage; ++sub) {
+    auto consumer = engine.NewEgressConsumer("fmt", sub);
+    if (!consumer.ok()) {
+      return consumer.status();
+    }
+    auto records = (*consumer)->PollAll();
+    if (!records.ok()) {
+      return records.status();
+    }
+    for (const auto& r : *records) {
+      lines.push_back(std::string(r.data.key) + "|" +
+                      std::string(r.data.value));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+size_t DistinctHandoffCommitted(Engine& engine) {
+  auto lines = CollectHandoffCommitted(engine);
+  if (!lines.ok()) {
+    return 0;
+  }
+  return std::set<std::string>(lines->begin(), lines->end()).size();
+}
+
+// One run: feed phase 1, wait for it to commit, rescale the stateful stage
+// (crash schedule armed), feed phase 2, wait for convergence. rescale_to ==
+// 0 is the fault-free never-rescaled baseline.
+Result<ChaosOutcome> RunHandoffRescale(ProtocolKind protocol, uint64_t seed,
+                                       uint32_t rescale_to,
+                                       std::vector<FaultSchedule> schedules) {
+  EngineOptions options;
+  options.config = ChaosConfig(protocol);
+  options.name = "handoff-chaos";
+  Engine engine(std::move(options));
+  auto plan = HandoffCountPlan();
+  IMPELLER_RETURN_IF_ERROR(plan.status());
+  IMPELLER_RETURN_IF_ERROR(engine.Submit(std::move(*plan)));
+  auto producer = engine.NewProducer("chaos-gen", "nums");
+  IMPELLER_RETURN_IF_ERROR(producer.status());
+  Clock* clock = engine.clock();
+
+  auto feed = [&](int phase) -> Status {
+    for (int round = 0; round < kHandoffRounds; ++round) {
+      TimeNs et = kEventTimeBase +
+                  static_cast<TimeNs>(phase * kHandoffRounds + round) *
+                      kMillisecond;
+      for (int j = 0; j < kHandoffKeys; ++j) {
+        (*producer)->Send("hk" + std::to_string(j), "x", et);
+      }
+    }
+    return testutil::FlushUntilDrained(**producer, clock);
+  };
+  auto committed_at_least = [&](size_t n) -> Status {
+    if (!testutil::WaitFor(
+            [&] { return DistinctHandoffCommitted(engine) >= n; },
+            30 * kSecond)) {
+      return DeadlineExceededError(
+          "only " + std::to_string(DistinctHandoffCommitted(engine)) + "/" +
+          std::to_string(n) + " lines committed");
+    }
+    return OkStatus();
+  };
+
+  IMPELLER_RETURN_IF_ERROR(feed(0));
+  // The rescale must find real keyed state to move: phase 1 fully committed
+  // means every key's count is 1..3 in the stage's stores.
+  IMPELLER_RETURN_IF_ERROR(committed_at_least(kPhaseLines));
+
+  ChaosOutcome outcome;
+  if (rescale_to != 0) {
+    testutil::FaultArmGuard arm(std::move(schedules), seed, engine.metrics());
+    IMPELLER_RETURN_IF_ERROR(
+        engine.tasks()->RescaleStage("count", rescale_to));
+    // The crash fires on a new task's recovery thread shortly after spawn;
+    // wait for it so the disarm below cannot race the handoff attempt.
+    testutil::WaitFor(
+        [&] { return FaultInjector::Get().TotalFires() > 0; }, 5 * kSecond);
+    IMPELLER_RETURN_IF_ERROR(feed(1));
+    // Let the monitor notice the dead task and redo the handoff while the
+    // schedule is still armed (max_fires=1 keeps the redo crash-free).
+    clock->SleepFor(100 * kMillisecond);
+    outcome.fault_fires = FaultInjector::Get().TotalFires();
+  } else {
+    IMPELLER_RETURN_IF_ERROR(feed(1));
+  }
+
+  IMPELLER_RETURN_IF_ERROR(committed_at_least(2 * kPhaseLines));
+  engine.Stop();
+  auto lines = CollectHandoffCommitted(engine);
+  IMPELLER_RETURN_IF_ERROR(lines.status());
+  outcome.lines = std::move(*lines);
+  return outcome;
+}
+
+// Parameterized over the marker protocols — the changelog-mediated handoff
+// (and its crash window) only exists where markers do; aligned/unsafe hand
+// state over in memory before the new generation starts.
+class RescaleHandoffCrashTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(RescaleHandoffCrashTest, CrashBetweenAcquireAndTransferIsInvisible) {
+#if !defined(IMPELLER_FAULT_INJECTION_ENABLED)
+  GTEST_SKIP() << "built with IMPELLER_FAULT_INJECTION=OFF";
+#else
+  ProtocolKind protocol = GetParam();
+
+  auto baseline = RunHandoffRescale(protocol, /*seed=*/0, /*rescale_to=*/0,
+                                    {});
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->lines.size(), 2 * kPhaseLines)
+      << "fault-free never-rescaled run must commit every update once";
+
+  const uint64_t base = ChaosSeedBase();
+  RecordProperty("chaos_seed_base", std::to_string(base));
+  for (uint64_t seed = base + 1; seed <= base + kNumChaosSeeds; ++seed) {
+    // Odd seeds split the state 2 -> 3 tasks, even seeds merge it 2 -> 1;
+    // the seed also picks which new task's handoff attempt dies.
+    uint32_t rescale_to = (seed % 2 == 1) ? kTasksPerStage + 1 : 1;
+    Rng rng(seed * 0x9E3779B97F4A7C15ull +
+            static_cast<uint64_t>(protocol) * 0x100000001B3ull);
+    FaultSchedule crash;
+    crash.point = "task/rescale/handoff";
+    crash.kind = FaultKind::kCrash;
+    crash.at_hit = 1 + rng.NextBounded(rescale_to);
+    crash.max_fires = 1;
+    SCOPED_TRACE("protocol=" + std::string(ProtocolKindName(protocol)) +
+                 " rescale_to=" + std::to_string(rescale_to) +
+                 " chaos seed=" + std::to_string(seed) +
+                 " (replay: IMPELLER_CHAOS_SEED_BASE=" + std::to_string(base) +
+                 ")");
+    auto run = RunHandoffRescale(protocol, seed, rescale_to, {crash});
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_GT(run->fault_fires, 0u)
+        << "mid-handoff crash for seed " << seed << " never fired";
+    EXPECT_EQ(run->lines, baseline->lines)
+        << "a crash between state acquisition and ownership transfer must "
+           "be invisible in the committed stream";
+  }
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(MarkerProtocols, RescaleHandoffCrashTest,
+                         ::testing::Values(ProtocolKind::kProgressMarking,
+                                           ProtocolKind::kKafkaTxn),
+                         ShardKillTestName);
+
 }  // namespace
 }  // namespace impeller

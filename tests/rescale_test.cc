@@ -177,23 +177,39 @@ TEST(RescaleTest, RejectsInvalidRequests) {
   EXPECT_EQ(engine.tasks()->RescaleStage("split", 7).code(),
             StatusCode::kInvalidArgument)
       << "cannot exceed the substream budget";
-  EXPECT_EQ(engine.tasks()->RescaleStage("count", 1).code(),
-            StatusCode::kInvalidArgument)
-      << "stateful stages cannot rescale";
+  EXPECT_TRUE(engine.tasks()->RescaleStage("count", 1).ok())
+      << "stateful stages rescale via changelog state handoff";
   engine.Stop();
 }
 
-TEST(RescaleTest, RejectedUnderUnsafeProtocol) {
+TEST(RescaleTest, AllowedUnderUnsafeProtocol) {
+  // No markers means no changelog, but a *graceful* rescale can hand the
+  // stopped tasks' cursors and state over directly in memory.
   EngineOptions options;
   options.config = FastConfig(ProtocolKind::kUnsafe);
   Engine engine(std::move(options));
   auto plan = OverPartitionedPlan(2);
   ASSERT_TRUE(plan.ok());
   ASSERT_TRUE(engine.Submit(std::move(*plan)).ok());
-  EXPECT_EQ(engine.tasks()->RescaleStage("split", 3).code(),
-            StatusCode::kInvalidArgument)
-      << "no markers, no substream handoff";
+  auto producer = engine.NewProducer("gen", "lines");
+  ASSERT_TRUE(producer.ok());
+  for (int i = 0; i < 30; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "unsafe");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  Counter* out = engine.metrics()->GetCounter("out/wc");
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= 30; }));
+  ASSERT_TRUE(engine.tasks()->RescaleStage("split", 3).ok());
+  for (int i = 0; i < 30; ++i) {
+    (*producer)->Send("key" + std::to_string(i), "unsafe");
+  }
+  ASSERT_TRUE((*producer)->Flush().ok());
+  ASSERT_TRUE(WaitFor([&] { return out->Get() >= 60; }));
   engine.Stop();
+  auto counts = testutil::ReadWordCounts(engine, 2);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)["unsafe"], 60)
+      << "graceful direct handoff keeps even the unsafe baseline exact";
 }
 
 TEST(QueryBuilderRescaleTest, RejectsFewerSubstreamsThanTasks) {
