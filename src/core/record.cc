@@ -148,6 +148,14 @@ Result<ChangeLogView> DecodeChangeLogView(std::string_view raw) {
     }
     body.value = *value;
   }
+  // The owner substream is a late addition to the format; changelogs
+  // persisted before the ownership upgrade end here. Decode leniently so
+  // recovery over pre-upgrade data still works (unowned entries are claimed
+  // by the replaying task's default substream).
+  if (r.AtEnd()) {
+    body.substream = kUnownedSubstream;
+    return body;
+  }
   auto substream = r.ReadVarU64();
   if (!substream.ok()) {
     return substream.status();

@@ -48,8 +48,9 @@ void MapStateStore::Put(std::string_view key, std::string_view value) {
     bytes_ += key.size() + value.size();
   } else {
     // Replaced: adjust for the value size delta only.
-    it->second.value.assign(value);
+    bytes_ -= std::min(bytes_, it->second.value.size());
     bytes_ += value.size();
+    it->second.value.assign(value);
     if (ctx != kUnownedSubstream) {
       it->second.owner = ctx;
     }
@@ -131,18 +132,33 @@ void MapStateStore::ApplyChange(const ChangeLogView& change) {
     }
     return;
   }
-  auto [it, inserted] = data_.insert_or_assign(
-      std::string(change.key),
-      Entry{std::string(change.value), change.substream});
-  if (inserted) {
+  auto it = data_.find(change.key);
+  if (it == data_.end()) {
+    data_.emplace(std::string(change.key),
+                  Entry{std::string(change.value), change.substream});
     bytes_ += change.key.size() + change.value.size();
   } else {
+    bytes_ -= std::min(bytes_, it->second.value.size());
     bytes_ += change.value.size();
+    it->second.value.assign(change.value);
+    it->second.owner = change.substream;
   }
 }
 
+namespace {
+
+// Leading varint of an owner-carrying snapshot. Pre-ownership snapshots
+// start directly with the entry count, which can never reach this value, so
+// MergeSnapshot can decode both formats: entries without a trailing owner
+// field default to kUnownedSubstream (checkpoints taken before the
+// ownership upgrade must stay recoverable).
+constexpr uint64_t kOwnedSnapshotMark = ~uint64_t{0};
+
+}  // namespace
+
 std::string MapStateStore::SerializeSnapshot() const {
-  BinaryWriter w(bytes_ + 16);
+  BinaryWriter w(bytes_ + 32);
+  w.WriteVarU64(kOwnedSnapshotMark);
   w.WriteVarU64(data_.size());
   for (const auto& [key, entry] : data_) {
     w.WriteString(key);
@@ -160,11 +176,20 @@ Status MapStateStore::RestoreSnapshot(std::string_view raw) {
 Status MapStateStore::MergeSnapshot(std::string_view raw,
                                     const OwnerFilter& keep) {
   BinaryReader r(raw);
-  auto n = r.ReadVarU64();
-  if (!n.ok()) {
-    return n.status();
+  auto first = r.ReadVarU64();
+  if (!first.ok()) {
+    return first.status();
   }
-  for (uint64_t i = 0; i < *n; ++i) {
+  bool has_owner = *first == kOwnedSnapshotMark;
+  uint64_t count = *first;
+  if (has_owner) {
+    auto n = r.ReadVarU64();
+    if (!n.ok()) {
+      return n.status();
+    }
+    count = *n;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
     auto key = r.ReadString();
     if (!key.ok()) {
       return key.status();
@@ -173,13 +198,22 @@ Status MapStateStore::MergeSnapshot(std::string_view raw,
     if (!value.ok()) {
       return value.status();
     }
-    auto owner_raw = r.ReadVarU64();
-    if (!owner_raw.ok()) {
-      return owner_raw.status();
+    uint32_t owner = kUnownedSubstream;
+    if (has_owner) {
+      auto owner_raw = r.ReadVarU64();
+      if (!owner_raw.ok()) {
+        return owner_raw.status();
+      }
+      owner = static_cast<uint32_t>(*owner_raw);
     }
-    uint32_t owner = static_cast<uint32_t>(*owner_raw);
     if (keep && !keep(owner)) {
       continue;
+    }
+    // Replacements (merging several handoff sources, or a snapshot over a
+    // prior merge) must shed the old entry's size or bytes_ drifts upward.
+    auto it = data_.find(*key);
+    if (it != data_.end()) {
+      bytes_ -= std::min(bytes_, it->first.size() + it->second.value.size());
     }
     bytes_ += key->size() + value->size();
     data_.insert_or_assign(std::move(*key), Entry{std::move(*value), owner});

@@ -308,6 +308,20 @@ bool TaskManager::AllTasksIdle() const {
 
 namespace {
 
+// Runs a function on scope exit; RescaleStage uses it so the barrier
+// coordinator is resumed on every return path, including errors.
+template <typename F>
+class ScopeExit {
+ public:
+  explicit ScopeExit(F fn) : fn_(std::move(fn)) {}
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+  ~ScopeExit() { fn_(); }
+
+ private:
+  F fn_;
+};
+
 // Newest committed cut on a task's log, or nullopt if it never committed.
 // The tail record is the common case; a non-cut tail (e.g. an aborted
 // transaction's control record left by a crash) falls back to a forward
@@ -386,10 +400,19 @@ Status TaskManager::RescaleStage(const std::string& stage_name,
 
   // Under aligned checkpointing the coordinator's task list is about to
   // change; pause it for the duration of the rescale so no checkpoint
-  // round spans the generation switch.
+  // round spans the generation switch. The scope guard resumes it on EVERY
+  // exit path — a rescale that fails partway through must not leave
+  // checkpointing permanently halted.
+  bool paused_coordinator = false;
   if (aligned && barrier_coordinator_ != nullptr) {
     barrier_coordinator_->Stop();
+    paused_coordinator = true;
   }
+  ScopeExit resume_coordinator([this, paused_coordinator] {
+    if (paused_coordinator && !stopping_.load()) {
+      ResumeBarrierCoordinator();
+    }
+  });
 
   std::vector<std::string> old_ids;
   for (uint32_t i = 0; i < old_tasks; ++i) {
@@ -403,22 +426,27 @@ Status TaskManager::RescaleStage(const std::string& stage_name,
   //    fine: the handoff then starts from the task's last *committed* cut
   //    and the new generation redoes the uncommitted suffix).
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& id : old_ids) {
-      auto it = tasks_.find(id);
-      if (it == tasks_.end()) {
-        continue;
-      }
-      it->second.retired = true;
-      if (it->second.runtime != nullptr) {
-        it->second.runtime->RequestStop();
+    std::vector<sched::Ticket> draining;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& id : old_ids) {
+        auto it = tasks_.find(id);
+        if (it == tasks_.end()) {
+          continue;
+        }
+        it->second.retired = true;
+        if (it->second.runtime != nullptr) {
+          it->second.runtime->RequestStop();
+        }
+        draining.push_back(it->second.ticket);
       }
     }
-    for (const auto& id : old_ids) {
-      auto it = tasks_.find(id);
-      if (it != tasks_.end()) {
-        sched_->Wait(it->second.ticket);
-      }
+    // Each graceful drain can take up to the drain deadline with live
+    // producers; waiting outside mu_ keeps the monitor's heartbeat checks,
+    // unrelated restarts, and stats collection responsive. The entries are
+    // already retired, so the monitor cannot respawn them mid-wait.
+    for (sched::Ticket ticket : draining) {
+      sched_->Wait(ticket);
     }
   }
 
@@ -525,30 +553,70 @@ Status TaskManager::RescaleStage(const std::string& stage_name,
         consumer_stages.insert(stream.consumer_stage);
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& consumer : consumer_stages) {
-      const StageSpec* cstage = plan_.FindStage(consumer);
-      if (cstage == nullptr) {
-        continue;
+    std::vector<std::pair<std::string, sched::Ticket>> bounced;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& consumer : consumer_stages) {
+        const StageSpec* cstage = plan_.FindStage(consumer);
+        if (cstage == nullptr) {
+          continue;
+        }
+        for (uint32_t i = 0; i < cstage->num_tasks; ++i) {
+          std::string id = MakeTaskId(plan_.name, cstage->name, i);
+          auto it = tasks_.find(id);
+          if (it == tasks_.end()) {
+            continue;
+          }
+          if (it->second.runtime != nullptr) {
+            it->second.runtime->RequestStop();
+          }
+          bounced.emplace_back(std::move(id), it->second.ticket);
+        }
       }
-      for (uint32_t i = 0; i < cstage->num_tasks; ++i) {
-        std::string id = MakeTaskId(plan_.name, cstage->name, i);
+    }
+    // Graceful drains run up to the drain deadline each; wait outside mu_
+    // so the manager stays responsive (see step 1).
+    for (const auto& [id, ticket] : bounced) {
+      sched_->Wait(ticket);
+    }
+    // Respawn every bounced consumer even if one spawn fails — a stopped
+    // task left behind would silently halt its stage.
+    Status bounce_status = OkStatus();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [id, ticket] : bounced) {
         auto it = tasks_.find(id);
         if (it == tasks_.end()) {
           continue;
         }
-        if (it->second.runtime != nullptr) {
-          it->second.runtime->RequestStop();
+        Status st = SpawnLocked(it->second, id);
+        if (!st.ok()) {
+          LOG_ERROR << "respawn of bounced consumer " << id
+                    << " failed: " << st.ToString();
+          if (bounce_status.ok()) {
+            bounce_status = st;
+          }
         }
-        sched_->Wait(it->second.ticket);
-        IMPELLER_RETURN_IF_ERROR(SpawnLocked(it->second, id));
       }
     }
+    IMPELLER_RETURN_IF_ERROR(bounce_status);
   }
 
-  // Resume checkpointing against the new task list.
-  if (aligned && barrier_coordinator_ != nullptr && !stopping_.load()) {
-    std::vector<std::string> ingress_tags;
+  // The resume_coordinator scope guard re-Configures and restarts the
+  // barrier coordinator against the new task list on return.
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(new_tasks > old_tasks ? "rescale/up"
+                                               : "rescale/down")
+        ->Add();
+  }
+  return OkStatus();
+}
+
+void TaskManager::ResumeBarrierCoordinator() {
+  std::vector<std::string> ingress_tags;
+  std::vector<std::string> task_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, stream] : plan_.streams) {
       if (stream.external) {
         for (uint32_t sub = 0; sub < stream.num_substreams; ++sub) {
@@ -556,22 +624,15 @@ Status TaskManager::RescaleStage(const std::string& stage_name,
         }
       }
     }
-    std::vector<std::string> task_ids;
     for (const auto& s : plan_.stages) {
       for (uint32_t i = 0; i < s.num_tasks; ++i) {
         task_ids.push_back(MakeTaskId(plan_.name, s.name, i));
       }
     }
-    barrier_coordinator_->Configure(std::move(ingress_tags),
-                                    std::move(task_ids));
-    barrier_coordinator_->Start();
   }
-  if (metrics_ != nullptr) {
-    metrics_->GetCounter(new_tasks > old_tasks ? "rescale/up"
-                                               : "rescale/down")
-        ->Add();
-  }
-  return OkStatus();
+  barrier_coordinator_->Configure(std::move(ingress_tags),
+                                  std::move(task_ids));
+  barrier_coordinator_->Start();
 }
 
 std::vector<StageStats> TaskManager::CollectStageStats() {

@@ -125,6 +125,9 @@ class TaskManager {
   // Spawns a new instance for the entry (caller holds mu_); the entry's
   // retained handoff info (if any) seeds the new instance's wiring.
   Status SpawnLocked(TaskEntry& entry, const std::string& task_id);
+  // Re-Configures the barrier coordinator against the current task list and
+  // restarts it (aligned protocol only; takes mu_ to snapshot the plan).
+  void ResumeBarrierCoordinator();
   // Home-worker hint: log shard of the task's first owned input substream
   // (task i of T owns substreams s % T == i); falls back to the task index.
   uint32_t TaskAffinity(const TaskEntry& entry) const;

@@ -264,11 +264,18 @@ Status TaskRuntime::Recover() {
   // Rescale handoff: the manager collected every substream's consumed end
   // from the previous generation's final markers (substream ownership may
   // have moved between tasks, so our own task log is not authoritative).
+  // The entry retains the handoff across monitor restarts, so these ends
+  // may be stale by the time we run: once the task has committed its own
+  // post-rescale cut (or checkpoint), the recovery above already positioned
+  // the readers past them. Only ever advance a cursor — rewinding would
+  // re-process records whose effects are already in the restored state and
+  // re-emit them under fresh sequence numbers downstream dedup cannot
+  // filter.
   if (!wiring_.initial_input_ends.empty()) {
     for (auto& reader : readers_) {
       auto it = wiring_.initial_input_ends.find(reader->tag());
       if (it != wiring_.initial_input_ends.end() &&
-          it->second != kInvalidLsn) {
+          it->second != kInvalidLsn && it->second + 1 > reader->next_lsn()) {
         reader->Restore(it->second + 1, it->second);
       }
     }

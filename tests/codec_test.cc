@@ -80,6 +80,31 @@ TEST(ChangeLogBodyTest, PutAndDeleteRoundTrip) {
   EXPECT_TRUE(got->is_delete);
 }
 
+TEST(ChangeLogBodyTest, PreOwnershipBodiesDecodeAsUnowned) {
+  // Changelog records persisted before the owner-substream field existed
+  // end right after the value (or the delete flag); recovery over such a
+  // log must decode them as unowned, not fail.
+  BinaryWriter put(32);
+  put.WriteString("agg");
+  put.WriteString("word");
+  put.WriteBool(false);
+  put.WriteString("7");
+  auto got = DecodeChangeLogBody(put.Take());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->store, "agg");
+  EXPECT_EQ(got->value, "7");
+  EXPECT_EQ(got->substream, kUnownedSubstream);
+
+  BinaryWriter del(32);
+  del.WriteString("agg");
+  del.WriteString("word");
+  del.WriteBool(true);
+  got = DecodeChangeLogBody(del.Take());
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->is_delete);
+  EXPECT_EQ(got->substream, kUnownedSubstream);
+}
+
 TEST(MarkerTest, FullRoundTrip) {
   ProgressMarker m;
   m.marker_seq = 42;

@@ -124,11 +124,16 @@ Result<std::multiset<std::string>> CollectOutput(Engine& engine) {
 }
 
 // Runs the pipeline, optionally rescaling `agg` between the two data
-// windows, and returns the committed output.
+// windows, and returns the committed output. With `restart_after_seal` the
+// whole new generation is crash-restarted after its handoff sealed (first
+// post-rescale cut / completed checkpoint) — recovery must then come from
+// that newer point, not the retained handoff cursors.
 Result<std::multiset<std::string>> RunScenario(ProtocolKind protocol,
                                                uint32_t shards,
                                                uint32_t initial_tasks,
-                                               uint32_t rescale_to) {
+                                               uint32_t rescale_to,
+                                               bool restart_after_seal =
+                                                   false) {
   EngineOptions options;
   options.config = FastConfig(protocol);
   options.config.log_shards = shards;
@@ -165,7 +170,12 @@ Result<std::multiset<std::string>> RunScenario(ProtocolKind protocol,
   IMPELLER_RETURN_IF_ERROR(drain(initial_tasks, WindowRecords(1),
                                  "window 1"));
 
+  uint64_t ckpt_before_rescale = 0;
   if (rescale_to != 0) {
+    if (protocol == ProtocolKind::kAlignedCheckpoint) {
+      ckpt_before_rescale =
+          engine.tasks()->barrier_coordinator()->LatestCompleted();
+    }
     // Rescale with window 1 fully absorbed into keyed state but not yet
     // fired: the pane accumulators must migrate for the output to be right.
     IMPELLER_RETURN_IF_ERROR(
@@ -180,6 +190,47 @@ Result<std::multiset<std::string>> RunScenario(ProtocolKind protocol,
   IMPELLER_RETURN_IF_ERROR((*producer)->Flush().status());
   IMPELLER_RETURN_IF_ERROR(drain(current_tasks, already + WindowRecords(2),
                                  "window 2"));
+
+  if (restart_after_seal && rescale_to != 0) {
+    // Wait for the handoff to seal: a post-rescale cut (marker protocols)
+    // or a checkpoint completed after the rescale (aligned). The retained
+    // handoff cursors are stale from this point on; a restart must not
+    // rewind to them (regression: re-processed records would double-apply
+    // state and re-emit under fresh sequence numbers dedup cannot filter).
+    bool sealed;
+    if (protocol == ProtocolKind::kAlignedCheckpoint) {
+      sealed = WaitFor(
+          [&] {
+            return engine.tasks()->barrier_coordinator()->LatestCompleted() >
+                   ckpt_before_rescale;
+          },
+          10 * kSecond);
+    } else {
+      sealed = WaitFor(
+          [&] {
+            for (uint32_t i = 0; i < rescale_to; ++i) {
+              TaskRuntime* rt =
+                  engine.tasks()->FindTask("ws/agg/" + std::to_string(i));
+              if (rt == nullptr || rt->markers_written() == 0) {
+                return false;
+              }
+            }
+            return true;
+          },
+          10 * kSecond);
+    }
+    if (!sealed) {
+      return DeadlineExceededError("handoff never sealed post-rescale");
+    }
+    for (uint32_t i = 0; i < rescale_to; ++i) {
+      auto stats =
+          engine.tasks()->RestartTask("ws/agg/" + std::to_string(i));
+      if (!stats.ok()) {
+        return stats.status();
+      }
+    }
+  }
+
   FeedClosers(**producer);
   IMPELLER_RETURN_IF_ERROR((*producer)->Flush().status());
 
@@ -235,6 +286,48 @@ INSTANTIATE_TEST_SUITE_P(
                                          ProtocolKind::kUnsafe),
                        ::testing::Values(1u, 3u)),
     ParamName);
+
+// --- restart after the handoff sealed ---
+//
+// The rescale handoff is retained on the task entries so a crash mid-handoff
+// can redo it; once the new generation commits its first post-rescale cut
+// the handoff is sealed and later restarts recover from the task's own
+// newer cut/checkpoint. The stale handoff cursors must then be ignored —
+// rewinding inputs while state and out_seq come from the newer cut breaks
+// exactly-once. kUnsafe is excluded: it makes no exactly-once claim.
+class RescaleRestartTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(RescaleRestartTest, RestartAfterSealedHandoffMatchesBaseline) {
+  ProtocolKind protocol = GetParam();
+
+  auto baseline = RunScenario(protocol, 3, 2, 0);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->size(), ExpectedPanes());
+
+  auto up = RunScenario(protocol, 3, 2, 4, /*restart_after_seal=*/true);
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  EXPECT_EQ(*up, *baseline)
+      << "restart after a sealed scale-up handoff changed committed bytes";
+
+  auto down = RunScenario(protocol, 3, 3, 1, /*restart_after_seal=*/true);
+  ASSERT_TRUE(down.ok()) << down.status().ToString();
+  EXPECT_EQ(*down, *baseline)
+      << "restart after a sealed scale-down handoff changed committed bytes";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExactlyOnceProtocols, RescaleRestartTest,
+    ::testing::Values(ProtocolKind::kProgressMarking, ProtocolKind::kKafkaTxn,
+                      ProtocolKind::kAlignedCheckpoint),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      std::string name = ProtocolKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
 
 // --- autoscaler: unit level ---
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/serde.h"
 #include "src/core/state_store.h"
 
 namespace impeller {
@@ -142,6 +143,62 @@ TEST(StateStoreTest, SizeBytesTracksContent) {
   EXPECT_GE(store.SizeBytes(), 8u);
   store.Delete("abc");
   EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(StateStoreTest, SizeBytesExactUnderReplacement) {
+  // Every replacement path — Put, ApplyChange, MergeSnapshot — must account
+  // for the replaced entry's old size, or bytes_ drifts upward forever.
+  MapStateStore store("s", nullptr);
+  store.Put("k", "0123456789");
+  store.Put("k", "v");
+  EXPECT_EQ(store.SizeBytes(), 2u);  // "k" + "v"
+
+  store.ApplyChange(ChangeLogView{"s", "k", false, "0123456789", 0});
+  store.ApplyChange(ChangeLogView{"s", "k", false, "v", 0});
+  EXPECT_EQ(store.SizeBytes(), 2u);
+
+  // Merging the same snapshot repeatedly (multi-source handoffs overlap, a
+  // snapshot can land over a prior merge) must not inflate the size.
+  std::string blob = store.SerializeSnapshot();
+  MapStateStore merged("s", nullptr);
+  ASSERT_TRUE(merged.MergeSnapshot(blob, nullptr).ok());
+  ASSERT_TRUE(merged.MergeSnapshot(blob, nullptr).ok());
+  EXPECT_EQ(merged.SizeBytes(), store.SizeBytes());
+  EXPECT_EQ(merged.size(), store.size());
+}
+
+TEST(StateStoreTest, MergesPreOwnershipSnapshotLeniently) {
+  // Snapshots persisted before the ownership upgrade carry no owner field
+  // and no leading format mark; they must still restore, with every entry
+  // unowned (recovery then claims them via the owner filter's default).
+  BinaryWriter w(64);
+  w.WriteVarU64(2);  // legacy layout: count, then key/value pairs
+  w.WriteString("a");
+  w.WriteString("1");
+  w.WriteString("b");
+  w.WriteString("22");
+  std::string legacy = w.Take();
+
+  MapStateStore store("s", nullptr);
+  ASSERT_TRUE(store.MergeSnapshot(legacy, nullptr).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(*store.Get("a"), "1");
+  EXPECT_EQ(*store.Get("b"), "22");
+  EXPECT_EQ(*store.GetOwner("a"), kUnownedSubstream);
+  EXPECT_EQ(store.SizeBytes(), 5u);  // "a"+"1" + "b"+"22"
+
+  // The filter sees kUnownedSubstream and may normalize it in place, the
+  // same way a rescale handoff claims unowned entries.
+  MapStateStore claimed("s", nullptr);
+  ASSERT_TRUE(claimed
+                  .MergeSnapshot(legacy,
+                                 [](uint32_t& owner) {
+                                   EXPECT_EQ(owner, kUnownedSubstream);
+                                   owner = 3;
+                                   return true;
+                                 })
+                  .ok());
+  EXPECT_EQ(*claimed.GetOwner("a"), 3u);
 }
 
 }  // namespace
